@@ -1,0 +1,76 @@
+//! Ablation benches for the design knobs DESIGN.md §5 calls out:
+//! detection frequency (`detect_every`), recovery on/off, and the
+//! end-to-end cost of a service request under each collector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use golf_core::{ExpansionStrategy, GcMode, GolfConfig, PacerConfig, Session};
+use golf_runtime::Vm;
+use golf_service::{boot_service, ServiceConfig};
+
+fn service_vm(leak_per_mille: i64) -> Vm {
+    let (vm, _) = boot_service(&ServiceConfig {
+        connections: 8,
+        rpc_ticks: 20,
+        think_ticks: 5,
+        leak_per_mille,
+        map_bytes: 20_000,
+        ..ServiceConfig::default()
+    });
+    vm
+}
+
+/// One simulated second of leaky service traffic plus GC, under different
+/// collector configurations.
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    let configs: Vec<(&str, GcMode, GolfConfig)> = vec![
+        ("baseline", GcMode::Baseline, GolfConfig::default()),
+        ("golf_every1", GcMode::Golf, GolfConfig { detect_every: 1, reclaim: true, ..GolfConfig::default() }),
+        ("golf_every10", GcMode::Golf, GolfConfig { detect_every: 10, reclaim: true, ..GolfConfig::default() }),
+        ("golf_report_only", GcMode::Golf, GolfConfig { detect_every: 1, reclaim: false, ..GolfConfig::default() }),
+        (
+            "golf_from_marked",
+            GcMode::Golf,
+            GolfConfig { expansion: ExpansionStrategy::FromMarked, ..GolfConfig::default() },
+        ),
+        (
+            "golf_incremental",
+            GcMode::Golf,
+            GolfConfig { expansion: ExpansionStrategy::Incremental, ..GolfConfig::default() },
+        ),
+    ];
+    for (name, mode, golf) in configs {
+        for leak in [0i64, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("leak{leak}")),
+                &leak,
+                |bench, &leak| {
+                    bench.iter_batched(
+                        || {
+                            let mut s = Session::new(
+                                service_vm(leak),
+                                mode,
+                                golf,
+                                PacerConfig::default(),
+                            );
+                            s.engine_mut().set_keep_history(false);
+                            s
+                        },
+                        |mut s| {
+                            for _ in 0..4 {
+                                s.run(250);
+                                s.collect();
+                            }
+                            s.gc_totals().num_gc
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

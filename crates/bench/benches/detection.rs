@@ -1,0 +1,68 @@
+//! Criterion benches of GOLF's detection overhead — the §5.3 cost model:
+//! `O(N² + NS)` where `N` is the goroutine count and `S` the number of
+//! goroutine/blocking-object pairings (select fan-out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use golf_core::GcEngine;
+use golf_runtime::{FuncBuilder, ProgramSet, SelectSpec, Vm, VmConfig};
+
+/// `n` blocked goroutines each selecting over `k` channels (S = n·k),
+/// all reachably live via main.
+fn select_fanout(n: i64, k: usize) -> ProgramSet {
+    let mut p = ProgramSet::new();
+    let site = p.site("main:selector");
+
+    let mut b = FuncBuilder::new("selector", k);
+    let labels: Vec<_> = (0..k).map(|_| b.label()).collect();
+    let mut spec = SelectSpec::new();
+    for (i, &l) in labels.iter().enumerate() {
+        spec = spec.recv(b.param(i), None, l);
+    }
+    b.select(spec);
+    for l in labels {
+        b.bind(l);
+    }
+    b.ret(None);
+    let selector = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let chans: Vec<_> = (0..k).map(|i| b.var(&format!("ch{i}"))).collect();
+    for &ch in &chans {
+        b.make_chan(ch, 0);
+    }
+    b.repeat(n, |b, _| {
+        b.go(selector, &chans, site);
+    });
+    // main keeps every channel alive: all selectors are reachably live, so
+    // each GC cycle pays the full liveness-check bill without detecting.
+    b.sleep(1_000_000);
+    p.define(b);
+    p
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection_fixed_point");
+    for n in [32i64, 128, 512] {
+        for k in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("select_k{k}"), n),
+                &(n, k),
+                |bench, &(n, k)| {
+                    bench.iter_batched(
+                        || {
+                            let mut vm = Vm::boot(select_fanout(n, k), VmConfig::default());
+                            vm.run(4_000);
+                            vm
+                        },
+                        |mut vm| GcEngine::golf().collect(&mut vm),
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

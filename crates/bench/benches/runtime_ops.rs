@@ -1,0 +1,101 @@
+//! Criterion benches of the substrate itself: channel, select and `sync`
+//! primitive throughput in the GoVM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use golf_runtime::{BinOp, FuncBuilder, ProgramSet, Vm, VmConfig};
+
+/// Ping-pong over an unbuffered channel, `n` round trips.
+fn chan_pingpong(n: i64) -> ProgramSet {
+    let mut p = ProgramSet::new();
+    let site = p.site("main:echo");
+    let mut b = FuncBuilder::new("echo", 2);
+    let req = b.param(0);
+    let resp = b.param(1);
+    let v = b.var("v");
+    b.forever(|b| {
+        b.recv(req, Some(v));
+        b.send(resp, v);
+    });
+    let echo = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let req = b.var("req");
+    let resp = b.var("resp");
+    b.make_chan(req, 0);
+    b.make_chan(resp, 0);
+    b.go(echo, &[req, resp], site);
+    b.repeat(n, |b, i| {
+        b.send(req, i);
+        b.recv(resp, None);
+    });
+    b.ret(None);
+    p.define(b);
+    p
+}
+
+/// Mutex contention: 4 goroutines increment a cell `n` times each.
+fn mutex_contention(n: i64) -> ProgramSet {
+    let mut p = ProgramSet::new();
+    let site = p.site("main:worker");
+    let mut b = FuncBuilder::new("worker", 3);
+    let mu = b.param(0);
+    let cell = b.param(1);
+    let wg = b.param(2);
+    let tmp = b.var("tmp");
+    let one = b.int(1);
+    b.repeat(n, |b, _| {
+        b.lock(mu);
+        b.cell_get(tmp, cell);
+        b.bin(BinOp::Add, tmp, tmp, one);
+        b.cell_set(cell, tmp);
+        b.unlock(mu);
+    });
+    b.wg_done(wg);
+    b.ret(None);
+    let worker = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let mu = b.var("mu");
+    let cell = b.var("cell");
+    let wg = b.var("wg");
+    let zero = b.int(0);
+    b.new_mutex(mu);
+    b.new_cell(cell, zero);
+    b.new_waitgroup(wg);
+    b.wg_add(wg, 4);
+    b.repeat(4, |b, _| b.go(worker, &[mu, cell, wg], site));
+    b.wg_wait(wg);
+    b.ret(None);
+    p.define(b);
+    p
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_ops");
+    for n in [100i64, 1_000] {
+        group.bench_with_input(BenchmarkId::new("chan_pingpong", n), &n, |bench, &n| {
+            bench.iter_batched(
+                || chan_pingpong(n),
+                |p| {
+                    let mut vm = Vm::boot(p, VmConfig::default());
+                    vm.run(u64::MAX / 2)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("mutex_contention", n), &n, |bench, &n| {
+            bench.iter_batched(
+                || mutex_contention(n),
+                |p| {
+                    let mut vm = Vm::boot(p, VmConfig { gomaxprocs: 4, ..VmConfig::default() });
+                    vm.run(u64::MAX / 2)
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

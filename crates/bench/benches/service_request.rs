@@ -1,0 +1,48 @@
+//! Criterion bench of end-to-end service request cost under each collector
+//! — the per-request overhead view of Table 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use golf_core::Session;
+use golf_service::{boot_service, read_completed, ServiceConfig};
+
+fn service_session(leak_per_mille: i64, golf: bool) -> (Session, golf_service::ServiceGlobals) {
+    let (vm, globals) = boot_service(&ServiceConfig {
+        connections: 8,
+        rpc_ticks: 10,
+        think_ticks: 3,
+        leak_per_mille,
+        map_bytes: 20_000,
+        ..ServiceConfig::default()
+    });
+    let mut s = if golf { Session::golf(vm) } else { Session::baseline(vm) };
+    s.engine_mut().set_keep_history(false);
+    (s, globals)
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_request");
+    for (name, golf) in [("baseline", false), ("golf", true)] {
+        for leak in [0i64, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("leak{leak}")),
+                &leak,
+                |bench, &leak| {
+                    bench.iter_batched(
+                        || service_session(leak, golf),
+                        |(mut s, globals)| {
+                            // One simulated second of traffic + a collection.
+                            s.run(1_000);
+                            s.collect();
+                            read_completed(s.vm(), globals)
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Compares the three §5.3 root-expansion strategies on daisy-chain
+//! workloads: iterations, liveness checks and pointer traversals per
+//! collection, plus wall-clock mark time.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p golf-bench --bin expansion_costs [-- --sizes 8,16,32,64]
+//! ```
+
+use golf_bench::{arg_value, parse_list};
+use golf_core::{ExpansionStrategy, GcEngine, GcMode, GolfConfig};
+use golf_metrics::{Align, Table};
+use golf_runtime::{FuncBuilder, ProgramSet, Vm, VmConfig};
+
+/// A daisy chain of `n` live links plus `n` deadlocked orphans — the §5.2
+/// worst case for iterative marking.
+fn chain_program(n: i64) -> ProgramSet {
+    let mut p = ProgramSet::new();
+    let s_link = p.site("main:link");
+    let s_orphan = p.site("main:orphan");
+
+    let mut b = FuncBuilder::new("link", 2);
+    let mine = b.param(0);
+    b.recv(mine, None);
+    b.ret(None);
+    let link = p.define(b);
+
+    let mut b = FuncBuilder::new("orphan", 1);
+    let ch = b.param(0);
+    let v = b.int(1);
+    b.send(ch, v);
+    b.ret(None);
+    let orphan = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let chans: Vec<_> = (0..n).map(|i| b.var(&format!("c{i}"))).collect();
+    for &ch in &chans {
+        b.make_chan(ch, 0);
+    }
+    for i in 0..(n - 1) as usize {
+        b.go(link, &[chans[i], chans[i + 1]], s_link);
+    }
+    let oc = b.var("oc");
+    b.repeat(n, |b, _| {
+        b.make_chan(oc, 0);
+        b.go(orphan, &[oc], s_orphan);
+    });
+    b.clear(oc);
+    for &ch in &chans[1..] {
+        b.clear(ch);
+    }
+    b.sleep(1_000_000);
+    p.define(b);
+    p
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sizes = arg_value(&args, "--sizes").map(|v| parse_list(&v)).unwrap_or(vec![8, 16, 32, 64]);
+
+    println!("Root-expansion strategy costs on an n-link daisy chain + n orphans (§5.3)\n");
+    let mut t = Table::new(vec![
+        "n", "strategy", "iterations", "liveness checks", "traversals", "mark µs", "detected",
+    ]);
+    for i in 2..7 {
+        t.align(i, Align::Right);
+    }
+    for &n in &sizes {
+        for (name, strategy) in [
+            ("Rescan (paper)", ExpansionStrategy::Rescan),
+            ("FromMarked", ExpansionStrategy::FromMarked),
+            ("Incremental", ExpansionStrategy::Incremental),
+        ] {
+            let mut vm = Vm::boot(chain_program(n as i64), VmConfig::default());
+            vm.run(4_000);
+            let mut gc = GcEngine::new(
+                GcMode::Golf,
+                GolfConfig { expansion: strategy, ..GolfConfig::default() },
+            );
+            let stats = gc.collect(&mut vm);
+            t.row(vec![
+                n.to_string(),
+                name.to_string(),
+                stats.mark_iterations.to_string(),
+                stats.liveness_checks.to_string(),
+                stats.pointer_traversals.to_string(),
+                format!("{:.1}", stats.mark_ns as f64 / 1_000.0),
+                stats.deadlocks_detected.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Rescan's checks grow ~quadratically with n; FromMarked's ~linearly;");
+    println!("Incremental finishes in a single marking pass. All three detect identically.");
+}

@@ -1,0 +1,514 @@
+//! The garbage-collection cycle: baseline marking, the GOLF reachable-
+//! liveness fixed point, deadlock reporting, finalizer-preserving recovery,
+//! and sweeping. This module is the reproduction of the paper's §4.2/§5.
+
+use crate::config::{ExpansionStrategy, GcMode, GolfConfig};
+use crate::hints::LivenessHint;
+use crate::mark::Marker;
+use crate::report::DeadlockReport;
+use crate::stats::{GcCycleStats, GcTotals, PhaseEvent};
+use golf_runtime::{GStatus, Gid, Value, Vm};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// The collector: owns mode, configuration, cumulative statistics, cycle
+/// history and the accumulated deadlock reports.
+///
+/// One engine drives one [`Vm`] across its lifetime (pair them with
+/// [`Session`](crate::Session) for pacer-driven collection).
+///
+/// # Example
+///
+/// ```
+/// use golf_core::{GcEngine, GcMode, GolfConfig};
+/// use golf_runtime::{ProgramSet, FuncBuilder, Vm, VmConfig};
+///
+/// let mut p = ProgramSet::new();
+/// let site = p.site("main:go");
+/// let mut b = FuncBuilder::new("leaky", 1);
+/// let ch = b.param(0);
+/// let v = b.int(1);
+/// b.send(ch, v); // blocks forever: the channel is dropped by main
+/// let leaky = p.define(b);
+/// let mut b = FuncBuilder::new("main", 0);
+/// let ch = b.var("ch");
+/// b.make_chan(ch, 0);
+/// b.go(leaky, &[ch], site);
+/// b.sleep(10);
+/// b.ret(None);
+/// p.define(b);
+///
+/// let mut vm = Vm::boot(p, VmConfig::default());
+/// vm.run(1_000);
+/// let mut gc = GcEngine::new(GcMode::Golf, GolfConfig::default());
+/// gc.collect(&mut vm);
+/// assert_eq!(gc.reports().len(), 1);
+/// assert!(gc.reports()[0].block_location.starts_with("leaky:"));
+/// ```
+#[derive(Debug)]
+pub struct GcEngine {
+    mode: GcMode,
+    golf: GolfConfig,
+    totals: GcTotals,
+    history: Vec<GcCycleStats>,
+    reports: Vec<DeadlockReport>,
+    keep_history: bool,
+    hints: Vec<LivenessHint>,
+}
+
+impl GcEngine {
+    /// A collector in the given mode.
+    pub fn new(mode: GcMode, golf: GolfConfig) -> Self {
+        assert!(golf.detect_every >= 1, "detect_every must be >= 1");
+        GcEngine {
+            mode,
+            golf,
+            totals: GcTotals::default(),
+            history: Vec::new(),
+            reports: Vec::new(),
+            keep_history: true,
+            hints: Vec::new(),
+        }
+    }
+
+    /// A baseline collector (ordinary Go GC).
+    pub fn baseline() -> Self {
+        Self::new(GcMode::Baseline, GolfConfig::default())
+    }
+
+    /// A GOLF collector with default options (detect every cycle, reclaim).
+    pub fn golf() -> Self {
+        Self::new(GcMode::Golf, GolfConfig::default())
+    }
+
+    /// Disables per-cycle history retention (long-running services).
+    pub fn set_keep_history(&mut self, keep: bool) {
+        self.keep_history = keep;
+    }
+
+    /// The collector mode.
+    pub fn mode(&self) -> GcMode {
+        self.mode
+    }
+
+    /// Cumulative statistics.
+    pub fn totals(&self) -> &GcTotals {
+        &self.totals
+    }
+
+    /// Per-cycle statistics (empty if history retention is disabled).
+    pub fn history(&self) -> &[GcCycleStats] {
+        &self.history
+    }
+
+    /// All deadlock reports so far, in detection order.
+    pub fn reports(&self) -> &[DeadlockReport] {
+        &self.reports
+    }
+
+    /// Removes and returns the accumulated reports.
+    pub fn take_reports(&mut self) -> Vec<DeadlockReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Supplies a liveness hint (paper §8 future work; see
+    /// [`LivenessHint`]). Hints accumulate; memory safety is unaffected,
+    /// detection exactness depends on the hints being true.
+    pub fn add_liveness_hint(&mut self, hint: LivenessHint) {
+        self.hints.push(hint);
+    }
+
+    /// The hints currently in effect.
+    pub fn liveness_hints(&self) -> &[LivenessHint] {
+        &self.hints
+    }
+
+    /// Runs one full garbage-collection cycle on `vm`.
+    ///
+    /// Phases (paper Figure 2): initialization, (restricted) root
+    /// preparation, iterative marking with GOLF root expansion to the
+    /// reachable-liveness fixed point, deadlock detection, recovery (forced
+    /// shutdown or finalizer preservation), sweep.
+    pub fn collect(&mut self, vm: &mut Vm) -> GcCycleStats {
+        let pause_start = Instant::now();
+        let cycle_no = self.totals.num_gc + 1;
+        let detection =
+            self.mode == GcMode::Golf
+            && (cycle_no - 1).is_multiple_of(u64::from(self.golf.detect_every));
+
+        let mut stats = GcCycleStats { cycle: cycle_no, golf_detection: detection, ..Default::default() };
+
+        // ---- Initialization ----
+        vm.heap_mut().clear_marks();
+        stats.phases.push(PhaseEvent::Init);
+
+        // Liveness hints (§8 future work): inert references are withheld
+        // from the liveness fixed point and re-marked before the sweep.
+        let mut inert_globals: HashSet<golf_heap::Handle> = HashSet::new();
+        let mut inert_sites: HashSet<&str> = HashSet::new();
+        if detection {
+            for hint in &self.hints {
+                match hint {
+                    LivenessHint::InertGlobal(id) => {
+                        if let Some(h) = vm.global(*id).as_ref_handle() {
+                            inert_globals.insert(h);
+                        }
+                    }
+                    LivenessHint::InertSpawnSite(label) => {
+                        inert_sites.insert(label.as_str());
+                    }
+                }
+            }
+        }
+        let goroutine_is_inert = |vm: &Vm, g: &golf_runtime::Goroutine| -> bool {
+            g.spawn_site
+                .is_some_and(|s| inert_sites.contains(vm.program().site_info(s).label.as_str()))
+        };
+
+        let mut marker = Marker::new();
+        for h in vm.runtime_root_handles() {
+            if !inert_globals.contains(&h) {
+                marker.push_root(h);
+            }
+        }
+
+        // Root preparation: GOLF withholds goroutines blocked at
+        // deadlock-eligible concurrency operations (paper §4.2 step 1); the
+        // baseline includes everything (§5.1).
+        let mut in_roots: HashSet<Gid> = HashSet::new();
+        let mut inert_gids: HashSet<Gid> = HashSet::new();
+        let mut goroutine_roots = 0usize;
+        for g in vm.live_goroutines() {
+            if detection && goroutine_is_inert(vm, g) {
+                inert_gids.insert(g.id);
+                continue; // withheld from liveness; re-marked before sweep
+            }
+            let include = !detection || !g.deadlock_candidate();
+            if include {
+                for h in g.stack_roots() {
+                    marker.push_root(h);
+                }
+                in_roots.insert(g.id);
+                goroutine_roots += 1;
+            }
+        }
+        stats
+            .phases
+            .push(PhaseEvent::RootsPrepared { goroutine_roots, restricted: detection });
+
+        // ---- Iterative marking to the reachable-liveness fixed point ----
+        let mark_start = Instant::now();
+        if detection && self.golf.expansion == ExpansionStrategy::Incremental {
+            // §5.3's furthest variant: expand the root set *during* marking.
+            // One pass, no restarts; an object's waiters join the worklist
+            // the instant the object is blackened.
+            let mut work: Vec<golf_heap::Handle> = Vec::new();
+            for h in vm.runtime_root_handles() {
+                if !inert_globals.contains(&h) {
+                    work.push(h);
+                }
+            }
+            for g in vm.live_goroutines() {
+                if in_roots.contains(&g.id) {
+                    for h in g.stack_roots() {
+                        work.push(h);
+                    }
+                }
+            }
+            let mut children = Vec::new();
+            while let Some(h) = work.pop() {
+                stats.pointer_traversals += 1;
+                if !vm.heap_mut().try_mark(h) {
+                    continue;
+                }
+                stats.objects_marked += 1;
+                children.clear();
+                if let Some(obj) = vm.heap().get(h) {
+                    use golf_heap::Trace;
+                    obj.trace(&mut |child| children.push(child));
+                }
+                work.extend_from_slice(&children);
+                // On-the-fly root expansion.
+                for gid in vm.waiters_on(h) {
+                    stats.liveness_checks += 1;
+                    if in_roots.contains(&gid) || inert_gids.contains(&gid) {
+                        continue;
+                    }
+                    let candidate =
+                        vm.goroutine(gid).is_some_and(|g| g.deadlock_candidate());
+                    if candidate {
+                        in_roots.insert(gid);
+                        if let Some(g) = vm.goroutine(gid) {
+                            for root in g.stack_roots() {
+                                work.push(root);
+                            }
+                        }
+                    }
+                }
+            }
+            stats.mark_iterations = 1;
+            stats.phases.push(PhaseEvent::MarkIteration {
+                iteration: 1,
+                newly_marked: stats.objects_marked,
+            });
+        } else {
+        loop {
+            stats.mark_iterations += 1;
+            let newly = marker.drain(vm.heap_mut());
+            stats
+                .phases
+                .push(PhaseEvent::MarkIteration { iteration: stats.mark_iterations, newly_marked: newly });
+            if !detection {
+                break;
+            }
+            // Root expansion (paper §4.2 step 3): a blocked goroutine whose
+            // B(g) intersects the marked heap is reachably live.
+            let mut added: Vec<Gid> = Vec::new();
+            match self.golf.expansion {
+                // Incremental expansion happens inside the single-pass
+                // marking loop above; unreachable here.
+                ExpansionStrategy::Incremental => unreachable!("handled by the single-pass loop"),
+                ExpansionStrategy::Rescan => {
+                    for g in vm.live_goroutines() {
+                        if in_roots.contains(&g.id)
+                            || inert_gids.contains(&g.id)
+                            || !g.deadlock_candidate()
+                        {
+                            continue;
+                        }
+                        let mut live = false;
+                        for &o in g.blocked.handles() {
+                            stats.liveness_checks += 1;
+                            // `is_marked` is false for stale handles too; all
+                            // our concurrency objects are heap-tracked, so
+                            // there is no "not on the heap ⇒ conservatively
+                            // reachable" case (globals are heap objects
+                            // reached via the root scan).
+                            if vm.heap().is_marked(o) {
+                                live = true;
+                                break;
+                            }
+                        }
+                        if live {
+                            added.push(g.id);
+                        }
+                    }
+                }
+                ExpansionStrategy::FromMarked => {
+                    // §5.3: only the wait queues of objects marked in the
+                    // last iteration can yield newly-live goroutines.
+                    for h in marker.take_newly_marked() {
+                        for gid in vm.waiters_on(h) {
+                            stats.liveness_checks += 1;
+                            if in_roots.contains(&gid)
+                                || inert_gids.contains(&gid)
+                                || added.contains(&gid)
+                            {
+                                continue;
+                            }
+                            let candidate = vm
+                                .goroutine(gid)
+                                .is_some_and(|g| g.deadlock_candidate());
+                            if candidate {
+                                added.push(gid);
+                            }
+                        }
+                    }
+                }
+            }
+            if added.is_empty() {
+                break;
+            }
+            for gid in &added {
+                in_roots.insert(*gid);
+                if let Some(g) = vm.goroutine(*gid) {
+                    for h in g.stack_roots() {
+                        marker.push_root(h);
+                    }
+                }
+            }
+            stats.phases.push(PhaseEvent::RootExpansion { goroutines_added: added.len() });
+        }
+        stats.objects_marked = marker.marked;
+        stats.pointer_traversals = marker.traversals;
+        }
+        stats.mark_ns = mark_start.elapsed().as_nanos() as u64;
+        stats.phases.push(PhaseEvent::MarkDone);
+
+        // ---- Deadlock detection & recovery ----
+        if detection {
+            let deadlocked: Vec<Gid> = vm
+                .live_goroutines()
+                .filter(|g| {
+                    g.deadlock_candidate()
+                        && !in_roots.contains(&g.id)
+                        && !inert_gids.contains(&g.id)
+                })
+                .map(|g| g.id)
+                .collect();
+
+            let mut new_reports = 0usize;
+            for &gid in &deadlocked {
+                let already = vm.goroutine(gid).is_some_and(|g| g.reported_deadlocked);
+                if already {
+                    continue;
+                }
+                let report = self.build_report(vm, gid, cycle_no);
+                self.reports.push(report);
+                vm.set_reported(gid);
+                new_reports += 1;
+            }
+            stats.deadlocks_detected = new_reports;
+            stats.phases.push(PhaseEvent::DeadlocksDetected { count: new_reports });
+
+            if self.golf.reclaim {
+                let mut reclaimed = 0usize;
+                let mut preserved = 0usize;
+                for &gid in &deadlocked {
+                    // Paper §5.5: while marking resources reachable only
+                    // from deadlocked goroutines, check for finalizers. Any
+                    // finalizer ⇒ keep the goroutine (and its memory) alive
+                    // forever so Go's observable semantics are preserved.
+                    if self.subgraph_has_finalizer(vm, gid) {
+                        vm.set_deadlocked(gid);
+                        self.mark_goroutine_subgraph(vm, gid, &mut stats);
+                        preserved += 1;
+                    } else {
+                        vm.force_shutdown(gid);
+                        reclaimed += 1;
+                    }
+                }
+                stats.deadlocks_reclaimed = reclaimed;
+                stats.preserved_for_finalizers = preserved;
+                if reclaimed > 0 {
+                    stats.phases.push(PhaseEvent::Reclaimed { count: reclaimed });
+                }
+                if preserved > 0 {
+                    stats.phases.push(PhaseEvent::PreservedForFinalizers { count: preserved });
+                }
+            } else {
+                // Report-only mode: the goroutines stay parked, so their
+                // memory must survive the sweep (only the *report* is
+                // withheld from re-emission).
+                for &gid in &deadlocked {
+                    self.mark_goroutine_subgraph(vm, gid, &mut stats);
+                }
+            }
+        }
+
+        // Re-mark the hinted (inert) sources: they were withheld from the
+        // liveness computation only; their memory is still reachable.
+        if !inert_globals.is_empty() || !inert_gids.is_empty() {
+            let mut remark = Marker::new();
+            for &h in &inert_globals {
+                remark.push_root(h);
+            }
+            for &gid in &inert_gids {
+                if let Some(g) = vm.goroutine(gid) {
+                    for h in g.stack_roots() {
+                        remark.push_root(h);
+                    }
+                }
+            }
+            remark.drain(vm.heap_mut());
+            stats.objects_marked += remark.marked;
+            stats.pointer_traversals += remark.traversals;
+        }
+
+        // ---- Sweep ----
+        let outcome = vm.heap_mut().sweep_unmarked();
+        stats.swept_objects = outcome.reclaimed_objects;
+        stats.swept_bytes = outcome.reclaimed_bytes;
+        // Unreachable objects with finalizers were resurrected; run their
+        // finalizers on a runtime-internal goroutine, whose stack keeps the
+        // object alive until the finalizer has observed it.
+        for (h, fin) in outcome.finalizable {
+            vm.spawn_internal(fin.func, &[Value::Ref(h)]);
+        }
+        stats
+            .phases
+            .push(PhaseEvent::Sweep { objects: stats.swept_objects, bytes: stats.swept_bytes });
+        vm.heap_mut().reset_alloc_window();
+
+        stats.live_bytes_after = vm.heap().stats().heap_alloc_bytes;
+        stats.pause_ns = pause_start.elapsed().as_nanos() as u64;
+        // Modeled STW (Go's marking is concurrent; only root setup, the
+        // marking-done handshake — one per marking *iteration*, which is
+        // where the paper locates GOLF's primary penalty (§6.2: "the STW
+        // phase required to complete the marking phase") — plus GOLF's
+        // liveness checks and forced shutdowns stop the world).
+        stats.modeled_stw_ns = 150_000 * u64::from(stats.mark_iterations.max(1))
+            + stats.liveness_checks * 150
+            + stats.deadlocks_reclaimed as u64 * 3_000
+            + stats.deadlocks_detected as u64 * 2_000;
+        self.totals.absorb(&stats);
+        if self.keep_history {
+            self.history.push(stats.clone());
+        }
+        stats
+    }
+
+    fn build_report(&self, vm: &Vm, gid: Gid, cycle: u64) -> DeadlockReport {
+        let g = vm.goroutine(gid).expect("reporting a stale goroutine");
+        let program = vm.program();
+        let stack: Vec<String> = g
+            .frames
+            .iter()
+            .rev()
+            .map(|f| program.describe_loc(f.func, f.pc.saturating_sub(1)))
+            .collect();
+        let block_location = stack.first().cloned().unwrap_or_else(|| "<unknown>".into());
+        DeadlockReport {
+            gid,
+            wait_reason: g.wait_reason().expect("deadlocked goroutine is parked"),
+            block_location,
+            spawn_site: g.spawn_site.map(|s| program.site_info(s).label.clone()),
+            stack,
+            cycle,
+            tick: vm.now(),
+        }
+    }
+
+    /// BFS over the *unmarked* subgraph reachable from `gid`'s stack,
+    /// checking for finalizers (paper §5.5). Marked objects are reachable
+    /// from live goroutines and their finalizers behave normally.
+    fn subgraph_has_finalizer(&self, vm: &Vm, gid: Gid) -> bool {
+        let Some(g) = vm.goroutine(gid) else { return false };
+        let heap = vm.heap();
+        let mut work: Vec<_> = g.stack_roots().collect();
+        let mut seen: HashSet<golf_heap::Handle> = HashSet::new();
+        while let Some(h) = work.pop() {
+            if h.is_masked() || heap.is_marked(h) || !seen.insert(h) {
+                continue;
+            }
+            if heap.has_finalizer(h) {
+                return true;
+            }
+            if let Some(obj) = heap.get(h) {
+                use golf_heap::Trace;
+                obj.trace(&mut |child| work.push(child));
+            }
+        }
+        false
+    }
+
+    /// Marks everything reachable from `gid`'s stack (used to keep the
+    /// memory of preserved or report-only deadlocked goroutines alive).
+    fn mark_goroutine_subgraph(&self, vm: &mut Vm, gid: Gid, stats: &mut GcCycleStats) {
+        let Some(g) = vm.goroutine(gid) else { return };
+        let roots: Vec<_> = g.stack_roots().collect();
+        let mut marker = Marker::new();
+        for h in roots {
+            marker.push_root(h);
+        }
+        marker.drain(vm.heap_mut());
+        stats.objects_marked += marker.marked;
+        stats.pointer_traversals += marker.traversals;
+    }
+}
+
+/// Returns the goroutines currently in the permanent `Deadlocked` state
+/// (preserved for finalizer semantics).
+pub fn preserved_goroutines(vm: &Vm) -> Vec<Gid> {
+    vm.live_goroutines().filter(|g| g.status == GStatus::Deadlocked).map(|g| g.id).collect()
+}

@@ -1,0 +1,59 @@
+//! Liveness hints — the paper's future-work extension (§8): *"incorporate
+//! static analysis techniques to provide liveness hints to the garbage
+//! collector in order to boost the deadlock detection capability."*
+//!
+//! GOLF's false negatives (§4.3) come from references that make blocked
+//! goroutines *reachably* live without ever being used to unblock them: a
+//! global channel nobody sends on anymore (Listing 4), or a runaway-live
+//! heartbeat goroutine that holds — but never touches — the channel a peer
+//! is blocked on (Listing 5). A static analysis (or a developer) can often
+//! prove that such references are **inert**: they will never be the source
+//! of an unblocking operation.
+//!
+//! A [`LivenessHint`] tells the collector to ignore an inert reference
+//! while computing *liveness*, without affecting *memory*: hinted sources
+//! are withheld from the liveness fixed point and re-marked before the
+//! sweep, so no reachable byte is ever freed. Detection becomes exact on
+//! the hinted patterns; recovery stays memory-safe because forced shutdown
+//! unlinks goroutines from the (still-live) wait queues.
+//!
+//! # Soundness
+//!
+//! Hints are *trusted assertions*. A wrong hint (the hinted global/
+//! goroutine would in fact have performed the unblocking operation) makes
+//! detection unsound in exactly the way the paper's false negatives are
+//! conservative: a goroutine that would have been unblocked is reported
+//! and, in reclaim mode, shut down. Use hints only for facts a static
+//! analysis actually proves.
+
+use golf_runtime::GlobalId;
+use serde::{Deserialize, Serialize};
+
+/// One inert-reference assertion supplied to the collector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LivenessHint {
+    /// The value stored in this global variable is never used to unblock a
+    /// goroutine (Listing 4's `var ch = make(chan int)` after its last
+    /// send). The global's memory stays alive; goroutines blocked *only*
+    /// through it become detectable.
+    InertGlobal(GlobalId),
+    /// Goroutines created at the `go` statement with this site label never
+    /// perform unblocking operations on the objects they merely reference
+    /// (Listing 5's heartbeat, which only touches `d.ticks`). Their stacks
+    /// are withheld from the liveness fixed point — but they are never
+    /// themselves reported, and their memory stays alive.
+    InertSpawnSite(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hints_are_comparable() {
+        let a = LivenessHint::InertSpawnSite("newDispatcher:71".into());
+        let b = LivenessHint::InertSpawnSite("newDispatcher:71".into());
+        assert_eq!(a, b);
+        assert_ne!(a, LivenessHint::InertSpawnSite("other".into()));
+    }
+}

@@ -1,0 +1,153 @@
+//! An independent reachable-liveness oracle for differential testing.
+//!
+//! [`GcEngine`](crate::GcEngine) computes `LIVE⁺` by piggybacking on heap
+//! marking — mark bits, worklists, root expansion. This module computes the
+//! *same* fixed point by a completely different route: it materializes the
+//! reference graph as plain adjacency data (no mark bits, no heap
+//! mutation), seeds it with the runnable goroutines, and runs a textbook
+//! BFS where discovering an object enqueues the goroutines parked on it.
+//! Any divergence between the two is a bug in one of them — the test suites
+//! use this as the ground truth against the collector on randomly generated
+//! programs.
+
+use golf_runtime::{Gid, Vm};
+use golf_heap::{Handle, Trace};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The oracle's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessVerdict {
+    /// Goroutines that are reachably live (`LIVE⁺`).
+    pub live: HashSet<Gid>,
+    /// Goroutines the fixed point proves deadlocked.
+    pub deadlocked: HashSet<Gid>,
+    /// Heap objects reachable from live goroutines and runtime roots.
+    pub reachable_objects: HashSet<Handle>,
+}
+
+/// Computes reachable liveness from first principles (paper §4.1/§4.2),
+/// without using the collector or the heap's mark bits.
+pub fn compute_liveness(vm: &Vm) -> LivenessVerdict {
+    // Materialize the object graph: handle -> children.
+    let mut edges: HashMap<Handle, Vec<Handle>> = HashMap::new();
+    for (h, obj) in vm.heap().iter() {
+        let mut children = Vec::new();
+        obj.trace(&mut |c| {
+            if !c.is_masked() {
+                children.push(c);
+            }
+        });
+        edges.insert(h, children);
+    }
+    // object -> goroutines parked on it (B(g) inverted).
+    let mut waiters: HashMap<Handle, Vec<Gid>> = HashMap::new();
+    for g in vm.live_goroutines() {
+        if !g.deadlock_candidate() {
+            continue;
+        }
+        for &o in g.blocked.handles() {
+            waiters.entry(o).or_default().push(g.id);
+        }
+    }
+
+    let mut live: HashSet<Gid> = HashSet::new();
+    let mut reachable: HashSet<Handle> = HashSet::new();
+    let mut obj_queue: VecDeque<Handle> = VecDeque::new();
+    let mut g_queue: VecDeque<Gid> = VecDeque::new();
+
+    // Seeds: runtime roots and every goroutine with B(g) = ∅ (runnable,
+    // sleeping, IO, internal) plus preserved Deadlocked goroutines.
+    for h in vm.runtime_root_handles() {
+        if !h.is_masked() && vm.heap().contains(h) && reachable.insert(h) {
+            obj_queue.push_back(h);
+        }
+    }
+    for g in vm.live_goroutines() {
+        if !g.deadlock_candidate() {
+            g_queue.push_back(g.id);
+        }
+    }
+
+    loop {
+        let mut progressed = false;
+        while let Some(gid) = g_queue.pop_front() {
+            progressed = true;
+            if !live.insert(gid) {
+                continue;
+            }
+            if let Some(g) = vm.goroutine(gid) {
+                for h in g.stack_roots() {
+                    if !h.is_masked() && vm.heap().contains(h) && reachable.insert(h) {
+                        obj_queue.push_back(h);
+                    }
+                }
+            }
+        }
+        while let Some(h) = obj_queue.pop_front() {
+            progressed = true;
+            for &c in edges.get(&h).map(Vec::as_slice).unwrap_or(&[]) {
+                if vm.heap().contains(c) && reachable.insert(c) {
+                    obj_queue.push_back(c);
+                }
+            }
+            // The liveness coupling: a marked blocking object revives its
+            // waiters.
+            for &gid in waiters.get(&h).map(Vec::as_slice).unwrap_or(&[]) {
+                if !live.contains(&gid) {
+                    g_queue.push_back(gid);
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let deadlocked: HashSet<Gid> = vm
+        .live_goroutines()
+        .filter(|g| g.deadlock_candidate() && !live.contains(&g.id))
+        .map(|g| g.id)
+        .collect();
+
+    LivenessVerdict { live, deadlocked, reachable_objects: reachable }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use golf_runtime::{FuncBuilder, ProgramSet, Vm, VmConfig};
+
+    #[test]
+    fn oracle_separates_live_from_deadlocked() {
+        let mut p = ProgramSet::new();
+        let s_live = p.site("main:live");
+        let s_dead = p.site("main:dead");
+        let mut b = FuncBuilder::new("worker", 1);
+        let ch = b.param(0);
+        b.recv(ch, None);
+        b.ret(None);
+        let worker = p.define(b);
+
+        let mut b = FuncBuilder::new("main", 0);
+        let kept = b.var("kept");
+        let dropped = b.var("dropped");
+        b.make_chan(kept, 0);
+        b.make_chan(dropped, 0);
+        b.go(worker, &[kept], s_live);
+        b.go(worker, &[dropped], s_dead);
+        b.clear(dropped);
+        b.sleep(1_000_000); // main stays alive, holding `kept`
+        p.define(b);
+
+        let mut vm = Vm::boot(p, VmConfig::default());
+        vm.run(100);
+        let verdict = compute_liveness(&vm);
+        assert_eq!(verdict.deadlocked.len(), 1);
+        assert_eq!(verdict.live.len(), 2, "main + the kept worker");
+        // The kept channel is reachable; the dropped channel is not.
+        assert!(verdict
+            .reachable_objects
+            .iter()
+            .any(|h| vm.heap().get(*h).is_some_and(|o| o.as_chan().is_some())));
+    }
+}

@@ -1,0 +1,157 @@
+//! Paper §5.5: "the Go runtime with GOLF preserves the semantics of
+//! ordinary Go modulo partial deadlocks."
+//!
+//! Property: for programs without partial deadlocks, running under the
+//! baseline collector and under GOLF (with recovery enabled) produces
+//! identical observable results — same outputs, same termination, same
+//! goroutine accounting. GC must be pure bookkeeping.
+
+use golf_core::{ExpansionStrategy, GcMode, GolfConfig, PacerConfig, Session};
+use golf_runtime::{
+    BinOp, FuncBuilder, GlobalId, ProgramSet, RunStatus, Value, Vm, VmConfig,
+};
+use proptest::prelude::*;
+
+/// A correct program parameterized by shape: producers feed consumers, a
+/// barrier waits for everyone, intermediate garbage is produced on purpose
+/// so the pacer actually fires.
+fn correct_program(
+    producers: i64,
+    per_producer: i64,
+    consumers: i64,
+    cap: usize,
+    garbage_bytes: u64,
+) -> (ProgramSet, GlobalId) {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let s_prod = p.site("main:producer");
+    let s_cons = p.site("main:consumer");
+
+    let mut b = FuncBuilder::new("producer", 3); // ch, base, wg
+    let ch = b.param(0);
+    let base = b.param(1);
+    let wg = b.param(2);
+    let v = b.var("v");
+    let junk = b.var("junk");
+    b.repeat(per_producer, |b, i| {
+        // Garbage each iteration: exercises the collector mid-run.
+        b.new_blob(junk, garbage_bytes);
+        b.bin(BinOp::Add, v, base, i);
+        b.send(ch, v);
+    });
+    b.wg_done(wg);
+    b.ret(None);
+    let producer = p.define(b);
+
+    let mut b = FuncBuilder::new("consumer", 3); // ch, sum_cell, mu
+    let ch = b.param(0);
+    let sum_cell = b.param(1);
+    let mu = b.param(2);
+    let item = b.var("item");
+    b.range_chan(ch, item, |b| {
+        b.lock(mu);
+        let s = b.var("s");
+        b.cell_get(s, sum_cell);
+        b.bin(BinOp::Add, s, s, item);
+        b.cell_set(sum_cell, s);
+        b.unlock(mu);
+    });
+    b.ret(None);
+    let consumer = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let ch = b.var("ch");
+    let sum_cell = b.var("sum");
+    let mu = b.var("mu");
+    let wg = b.var("wg");
+    let zero = b.int(0);
+    b.make_chan(ch, cap);
+    b.new_cell(sum_cell, zero);
+    b.new_mutex(mu);
+    b.new_waitgroup(wg);
+    b.wg_add(wg, producers);
+    let base = b.var("base");
+    let step = b.int(100);
+    b.copy(base, zero);
+    b.repeat(producers, |b, _| {
+        b.go(producer, &[ch, base, wg], s_prod);
+        b.bin(BinOp::Add, base, base, step);
+    });
+    b.repeat(consumers, |b, _| {
+        b.go(consumer, &[ch, sum_cell, mu], s_cons);
+    });
+    b.wg_wait(wg);
+    b.close_chan(ch);
+    b.sleep(60);
+    let s = b.var("s");
+    b.cell_get(s, sum_cell);
+    b.set_global(out, s);
+    b.ret(None);
+    p.define(b);
+    (p, out)
+}
+
+#[derive(Debug, PartialEq)]
+struct Observed {
+    status: RunStatus,
+    out: Value,
+    spawned: u64,
+    blocked_at_end: usize,
+}
+
+fn observe(
+    mode: GcMode,
+    expansion: ExpansionStrategy,
+    shape: (i64, i64, i64, usize, u64),
+    seed: u64,
+) -> Observed {
+    let (producers, per_producer, consumers, cap, garbage) = shape;
+    let (p, out) = correct_program(producers, per_producer, consumers, cap, garbage);
+    let vm = Vm::boot(p, VmConfig { seed, gomaxprocs: 2, ..VmConfig::default() });
+    // A tiny pacer so collections really interleave with execution.
+    let pacer = PacerConfig { min_trigger_bytes: 4 * 1024, ..PacerConfig::default() };
+    let mut session =
+        Session::new(vm, mode, GolfConfig { expansion, ..GolfConfig::default() }, pacer);
+    let outcome = session.run(500_000);
+    assert!(session.reports().is_empty(), "correct program must yield no reports");
+    Observed {
+        status: outcome.status,
+        out: session.vm().global(out),
+        spawned: session.vm().counters().spawned,
+        blocked_at_end: session.vm().blocked_count(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// GOLF ≡ baseline on deadlock-free programs, under every expansion
+    /// strategy, with the pacer collecting mid-run.
+    #[test]
+    fn golf_preserves_semantics_of_correct_programs(
+        producers in 1i64..4,
+        per_producer in 1i64..6,
+        consumers in 1i64..4,
+        cap in 0usize..3,
+        garbage in prop_oneof![Just(256u64), Just(4096u64)],
+        seed in any::<u64>(),
+    ) {
+        let shape = (producers, per_producer, consumers, cap, garbage);
+        let baseline = observe(GcMode::Baseline, ExpansionStrategy::Rescan, shape, seed);
+        prop_assert_eq!(baseline.status, RunStatus::MainDone);
+        // Expected total: sum over producers of (100p + 0..per_producer).
+        let expected: i64 = (0..producers)
+            .flat_map(|pr| (0..per_producer).map(move |i| pr * 100 + i))
+            .sum();
+        prop_assert_eq!(baseline.out, Value::Int(expected));
+
+        for strategy in [
+            ExpansionStrategy::Rescan,
+            ExpansionStrategy::FromMarked,
+            ExpansionStrategy::Incremental,
+        ] {
+            let golf = observe(GcMode::Golf, strategy, shape, seed);
+            prop_assert_eq!(&golf, &baseline, "strategy {:?} diverged", strategy);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! LEAKPROF-style production profiling: flag blocking operations where many
+//! goroutines pile up.
+
+use golf_runtime::Vm;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A warning emitted by [`LeakProf`]: a blocking operation whose observed
+/// concentration of blocked goroutines crossed the threshold.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeakProfWarning {
+    /// `func:pc` of the suspicious blocking operation.
+    pub location: String,
+    /// Spawn site of the affected goroutines, when uniform.
+    pub spawn_site: Option<String>,
+    /// The highest concentration observed across samples.
+    pub max_concentration: usize,
+    /// Number of samples in which the location crossed the threshold.
+    pub samples_over_threshold: usize,
+}
+
+/// A periodic goroutine-profile sampler with a concentration threshold.
+///
+/// This is the paper's LEAKPROF baseline (§1, §7): cheap enough for
+/// production, but *heuristic* — a legitimately congested operation (e.g. a
+/// fan-in channel during a burst) is a false positive, and a slow leak that
+/// never accumulates `threshold` goroutines between deploys is a false
+/// negative. Contrast with GOLF, whose reports are true positives by
+/// construction.
+///
+/// # Example
+///
+/// ```
+/// use golf_detectors::LeakProf;
+/// use golf_runtime::{ProgramSet, FuncBuilder, Vm, VmConfig};
+///
+/// let mut p = ProgramSet::new();
+/// let site = p.site("main:go");
+/// let mut b = FuncBuilder::new("leaky", 1);
+/// let ch = b.param(0);
+/// let v = b.int(1);
+/// b.send(ch, v);
+/// let leaky = p.define(b);
+/// let mut b = FuncBuilder::new("main", 0);
+/// let ch = b.var("ch");
+/// b.make_chan(ch, 0);
+/// b.repeat(5, |b, _| b.go(leaky, &[ch], site));
+/// b.sleep(20);
+/// b.ret(None);
+/// p.define(b);
+///
+/// let mut vm = Vm::boot(p, VmConfig::default());
+/// vm.run(10_000);
+///
+/// let mut prof = LeakProf::new(3);
+/// prof.observe(&vm);
+/// let warnings = prof.warnings();
+/// assert_eq!(warnings.len(), 1);
+/// assert_eq!(warnings[0].max_concentration, 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeakProf {
+    threshold: usize,
+    samples: usize,
+    // location -> (spawn site, max concentration, samples over threshold)
+    flagged: HashMap<String, (Option<String>, usize, usize)>,
+}
+
+impl LeakProf {
+    /// A sampler that flags locations with at least `threshold` blocked
+    /// goroutines in one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: usize) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        LeakProf { threshold, samples: 0, flagged: HashMap::new() }
+    }
+
+    /// Takes one goroutine-profile sample.
+    pub fn observe(&mut self, vm: &Vm) {
+        self.samples += 1;
+        for entry in vm.goroutine_profile() {
+            if !entry.wait_reason.deadlock_eligible() {
+                continue;
+            }
+            if entry.count >= self.threshold {
+                let slot = self
+                    .flagged
+                    .entry(entry.location.clone())
+                    .or_insert((entry.spawn_site.clone(), 0, 0));
+                slot.1 = slot.1.max(entry.count);
+                slot.2 += 1;
+            }
+        }
+    }
+
+    /// Number of samples taken.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The warnings accumulated so far, most concentrated first.
+    pub fn warnings(&self) -> Vec<LeakProfWarning> {
+        let mut out: Vec<LeakProfWarning> = self
+            .flagged
+            .iter()
+            .map(|(loc, (site, max, over))| LeakProfWarning {
+                location: loc.clone(),
+                spawn_site: site.clone(),
+                max_concentration: *max,
+                samples_over_threshold: *over,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.max_concentration.cmp(&a.max_concentration).then_with(|| a.location.cmp(&b.location))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use golf_runtime::{FuncBuilder, ProgramSet, VmConfig};
+
+    fn fanned_leak(n: i64) -> Vm {
+        let mut p = ProgramSet::new();
+        let site = p.site("main:go");
+        let mut b = FuncBuilder::new("leaky", 1);
+        let ch = b.param(0);
+        let v = b.int(1);
+        b.send(ch, v);
+        let leaky = p.define(b);
+        let mut b = FuncBuilder::new("main", 0);
+        let ch = b.var("ch");
+        b.make_chan(ch, 0);
+        b.repeat(n, |b, _| b.go(leaky, &[ch], site));
+        b.sleep(20);
+        b.ret(None);
+        p.define(b);
+        let mut vm = Vm::boot(p, VmConfig::default());
+        vm.run(10_000);
+        vm
+    }
+
+    #[test]
+    fn below_threshold_is_a_false_negative() {
+        let vm = fanned_leak(2);
+        let mut prof = LeakProf::new(5);
+        prof.observe(&vm);
+        assert!(prof.warnings().is_empty(), "2 < 5: leakprof misses the leak");
+    }
+
+    #[test]
+    fn above_threshold_is_flagged() {
+        let vm = fanned_leak(8);
+        let mut prof = LeakProf::new(5);
+        prof.observe(&vm);
+        prof.observe(&vm);
+        let w = prof.warnings();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].max_concentration, 8);
+        assert_eq!(w[0].samples_over_threshold, 2);
+        assert_eq!(prof.samples(), 2);
+    }
+
+    #[test]
+    fn temporarily_congested_operation_is_a_false_positive() {
+        // 6 goroutines legitimately parked on a channel that main WILL
+        // drain later: leakprof flags it anyway when sampled mid-congestion.
+        let mut p = ProgramSet::new();
+        let site = p.site("main:go");
+        let mut b = FuncBuilder::new("worker", 1);
+        let ch = b.param(0);
+        let v = b.int(1);
+        b.send(ch, v);
+        let worker = p.define(b);
+        let mut b = FuncBuilder::new("main", 0);
+        let ch = b.var("ch");
+        b.make_chan(ch, 0);
+        b.repeat(6, |b, _| b.go(worker, &[ch], site));
+        b.sleep(50); // congestion window
+        b.repeat(6, |b, _| b.recv(ch, None)); // then drained
+        b.ret(None);
+        p.define(b);
+
+        let mut vm = Vm::boot(p, VmConfig::default());
+        // Sample during the congestion window.
+        while vm.now() < 30 {
+            vm.step_tick();
+        }
+        let mut prof = LeakProf::new(5);
+        prof.observe(&vm);
+        assert_eq!(prof.warnings().len(), 1, "flagged while merely congested");
+        // Yet the program completes leak-free.
+        assert_eq!(vm.run(100_000).status, golf_runtime::RunStatus::MainDone);
+        assert_eq!(vm.blocked_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        LeakProf::new(0);
+    }
+}

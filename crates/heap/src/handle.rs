@@ -1,0 +1,155 @@
+//! Opaque, generational heap handles with GOLF-style address masking.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An opaque reference to an object in a [`Heap`](crate::Heap).
+///
+/// A handle packs a slot index, a generation counter (to catch stale handles
+/// after a slot is reused), and a *mask bit* reproducing the paper's address
+/// obfuscation (§5.4): global runtime tables store masked handles so the GC
+/// marker does not treat their referents as reachable.
+///
+/// # Example
+///
+/// ```
+/// use golf_heap::{Heap, Trace, Handle};
+/// struct Leaf;
+/// impl Trace for Leaf {
+///     fn trace(&self, _visit: &mut dyn FnMut(Handle)) {}
+/// }
+/// let mut heap: Heap<Leaf> = Heap::new();
+/// let h = heap.alloc(Leaf);
+/// let masked = h.masked();
+/// assert!(masked.is_masked() && !h.is_masked());
+/// assert_eq!(masked.unmasked(), h);
+/// // The heap refuses to resolve masked handles, like Go's marker
+/// // ignoring obfuscated pointers.
+/// assert!(heap.get(masked).is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Handle(u64);
+
+const MASK_BIT: u64 = 1 << 63;
+const GEN_SHIFT: u32 = 32;
+const GEN_BITS: u64 = (1 << 31) - 1; // 31 bits of generation
+const IDX_BITS: u64 = (1 << 32) - 1;
+
+impl Handle {
+    /// Builds a handle from a slot index and generation.
+    ///
+    /// Only the heap constructs handles; exposed as `pub(crate)` equivalent
+    /// via the crate boundary (tests construct via allocation).
+    pub(crate) fn new(index: u32, generation: u32) -> Self {
+        debug_assert!(u64::from(generation) <= GEN_BITS, "generation overflow");
+        Handle((u64::from(generation) << GEN_SHIFT) | u64::from(index))
+    }
+
+    /// The slot index this handle refers to.
+    pub fn index(self) -> u32 {
+        (self.0 & IDX_BITS) as u32
+    }
+
+    /// The generation the slot had when this handle was created.
+    pub fn generation(self) -> u32 {
+        ((self.0 >> GEN_SHIFT) & GEN_BITS) as u32
+    }
+
+    /// Returns a copy of this handle with the obfuscation bit set.
+    ///
+    /// Masked handles are ignored by heap lookups and by the marker — this is
+    /// how GOLF hides goroutine/semaphore addresses held in global tables
+    /// from the GC (paper §5.4, "Address Obfuscation").
+    #[must_use]
+    pub fn masked(self) -> Self {
+        Handle(self.0 | MASK_BIT)
+    }
+
+    /// Returns a copy with the obfuscation bit cleared.
+    #[must_use]
+    pub fn unmasked(self) -> Self {
+        Handle(self.0 & !MASK_BIT)
+    }
+
+    /// Whether the obfuscation bit is set.
+    pub fn is_masked(self) -> bool {
+        self.0 & MASK_BIT != 0
+    }
+
+    /// A stable, unique-per-slot-lifetime numeric identity (useful as a map
+    /// key in reports).
+    pub fn raw(self) -> u64 {
+        self.0 & !MASK_BIT
+    }
+}
+
+impl fmt::Debug for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_masked() {
+            write!(f, "Handle(~{}g{})", self.index(), self.generation())
+        } else {
+            write!(f, "Handle({}g{})", self.index(), self.generation())
+        }
+    }
+}
+
+impl fmt::Display for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let h = Handle::new(1234, 77);
+        assert_eq!(h.index(), 1234);
+        assert_eq!(h.generation(), 77);
+        assert!(!h.is_masked());
+    }
+
+    #[test]
+    fn mask_roundtrip() {
+        let h = Handle::new(5, 9);
+        let m = h.masked();
+        assert!(m.is_masked());
+        assert_ne!(h, m);
+        assert_eq!(m.unmasked(), h);
+        assert_eq!(m.index(), h.index());
+        assert_eq!(m.generation(), h.generation());
+        // Masking is idempotent.
+        assert_eq!(m.masked(), m);
+        assert_eq!(h.unmasked(), h);
+    }
+
+    #[test]
+    fn raw_ignores_mask() {
+        let h = Handle::new(42, 3);
+        assert_eq!(h.raw(), h.masked().raw());
+    }
+
+    #[test]
+    fn debug_marks_masked() {
+        let h = Handle::new(7, 1);
+        assert_eq!(format!("{h:?}"), "Handle(7g1)");
+        assert_eq!(format!("{:?}", h.masked()), "Handle(~7g1)");
+    }
+
+    #[test]
+    fn extremes_pack() {
+        let h = Handle::new(u32::MAX, (GEN_BITS) as u32);
+        assert_eq!(h.index(), u32::MAX);
+        assert_eq!(h.generation(), GEN_BITS as u32);
+        assert!(!h.is_masked());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Handle::new(1, 0);
+        let b = Handle::new(2, 0);
+        assert!(a < b);
+    }
+}

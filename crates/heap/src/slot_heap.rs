@@ -1,0 +1,534 @@
+//! The slot-table heap: allocation, mark bits, sweeping, finalizers.
+
+use crate::{Handle, HeapStats, Trace};
+
+struct Slot<O, F> {
+    obj: Option<O>,
+    generation: u32,
+    marked: bool,
+    bytes: u64,
+    finalizer: Option<F>,
+}
+
+/// A managed heap of objects of type `O`, with optional finalizer payloads
+/// of type `F`.
+///
+/// The heap owns the *mechanism* of collection — mark bits, sweeping,
+/// finalizer bookkeeping — while the *policy* (what the roots are, when to
+/// collect) lives in `golf-core`. Handles are generational: freeing a slot
+/// bumps its generation, so stale handles resolve to `None` rather than to a
+/// recycled object.
+///
+/// Finalizers mirror Go's `runtime.SetFinalizer`: an unmarked object with a
+/// finalizer is *not* reclaimed by [`Heap::sweep_unmarked`]; instead its
+/// finalizer payload is handed back to the caller (the runtime runs it and
+/// the object gets one more chance to die in a later cycle). This is the
+/// hook GOLF's semantics-preservation logic (paper §5.5) builds on.
+///
+/// # Example
+///
+/// ```
+/// use golf_heap::{Heap, Trace, Handle};
+/// struct Leaf;
+/// impl Trace for Leaf {
+///     fn trace(&self, _v: &mut dyn FnMut(Handle)) {}
+/// }
+/// let mut heap: Heap<Leaf, &'static str> = Heap::new();
+/// let h = heap.alloc(Leaf);
+/// heap.set_finalizer(h, "print average");
+/// heap.clear_marks();
+/// let outcome = heap.sweep_unmarked();
+/// // The object was unreachable but survives: its finalizer must run first.
+/// assert_eq!(outcome.reclaimed_objects, 0);
+/// assert_eq!(outcome.finalizable, vec![(h, "print average")]);
+/// assert!(heap.get(h).is_some());
+/// ```
+pub struct Heap<O, F = ()> {
+    slots: Vec<Slot<O, F>>,
+    free: Vec<u32>,
+    stats: HeapStats,
+}
+
+/// The result of a sweep: how much was reclaimed, and which unreachable
+/// objects had pending finalizers (and were therefore kept alive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOutcome<F> {
+    /// Number of objects reclaimed.
+    pub reclaimed_objects: u64,
+    /// Bytes reclaimed.
+    pub reclaimed_bytes: u64,
+    /// Unreachable objects whose finalizers were extracted instead of the
+    /// object being freed. The caller is responsible for running them.
+    pub finalizable: Vec<(Handle, F)>,
+}
+
+impl<F> Default for SweepOutcome<F> {
+    fn default() -> Self {
+        SweepOutcome { reclaimed_objects: 0, reclaimed_bytes: 0, finalizable: Vec::new() }
+    }
+}
+
+impl<O: Trace, F> Heap<O, F> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Heap { slots: Vec::new(), free: Vec::new(), stats: HeapStats::default() }
+    }
+
+    /// Creates an empty heap with room for `cap` objects before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Heap { slots: Vec::with_capacity(cap), free: Vec::new(), stats: HeapStats::default() }
+    }
+
+    /// Allocates `obj`, returning its handle.
+    pub fn alloc(&mut self, obj: O) -> Handle {
+        let bytes = obj.size_bytes() as u64;
+        self.stats.on_alloc(bytes);
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(slot.obj.is_none());
+            slot.obj = Some(obj);
+            slot.marked = false;
+            slot.bytes = bytes;
+            slot.finalizer = None;
+            Handle::new(idx, slot.generation)
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("heap slot index overflow");
+            self.slots.push(Slot { obj: Some(obj), generation: 0, marked: false, bytes, finalizer: None });
+            Handle::new(idx, 0)
+        }
+    }
+
+    fn slot(&self, h: Handle) -> Option<&Slot<O, F>> {
+        if h.is_masked() {
+            return None;
+        }
+        let slot = self.slots.get(h.index() as usize)?;
+        (slot.generation == h.generation() && slot.obj.is_some()).then_some(slot)
+    }
+
+    fn slot_mut(&mut self, h: Handle) -> Option<&mut Slot<O, F>> {
+        if h.is_masked() {
+            return None;
+        }
+        let slot = self.slots.get_mut(h.index() as usize)?;
+        (slot.generation == h.generation() && slot.obj.is_some()).then_some(slot)
+    }
+
+    /// Resolves a handle to a shared reference.
+    ///
+    /// Returns `None` for masked handles (the marker must not see through
+    /// obfuscated addresses), stale handles, and freed slots.
+    pub fn get(&self, h: Handle) -> Option<&O> {
+        self.slot(h).and_then(|s| s.obj.as_ref())
+    }
+
+    /// Resolves a handle to an exclusive reference. Same `None` cases as
+    /// [`Heap::get`].
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut O> {
+        self.slot_mut(h).and_then(|s| s.obj.as_mut())
+    }
+
+    /// Whether `h` currently resolves to a live object.
+    pub fn contains(&self, h: Handle) -> bool {
+        self.slot(h).is_some()
+    }
+
+    /// Frees the object behind `h` immediately, outside of any GC cycle.
+    ///
+    /// Returns the object if the handle was live. The slot's generation is
+    /// bumped so outstanding handles to it go stale.
+    pub fn free(&mut self, h: Handle) -> Option<O> {
+        let slot = self.slot_mut(h)?;
+        let obj = slot.obj.take();
+        let bytes = slot.bytes;
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.finalizer = None;
+        slot.marked = false;
+        self.free.push(h.index());
+        self.stats.on_free(bytes);
+        obj
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether the heap holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears every mark bit (GC cycle initialization).
+    pub fn clear_marks(&mut self) {
+        for slot in &mut self.slots {
+            slot.marked = false;
+        }
+    }
+
+    /// Marks `h` if it is live and unmarked, returning `true` exactly when
+    /// this call transitioned it from unmarked to marked.
+    ///
+    /// Masked and stale handles are ignored (returns `false`), which is what
+    /// makes GOLF's address obfuscation effective.
+    pub fn try_mark(&mut self, h: Handle) -> bool {
+        match self.slot_mut(h) {
+            Some(slot) if !slot.marked => {
+                slot.marked = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `h` is live and marked in the current cycle.
+    pub fn is_marked(&self, h: Handle) -> bool {
+        self.slot(h).is_some_and(|s| s.marked)
+    }
+
+    /// Number of objects currently marked.
+    pub fn marked_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.obj.is_some() && s.marked).count()
+    }
+
+    /// Reclaims every live, unmarked object — except those with pending
+    /// finalizers, whose payloads are extracted and returned instead.
+    pub fn sweep_unmarked(&mut self) -> SweepOutcome<F> {
+        let mut outcome = SweepOutcome::default();
+        for idx in 0..self.slots.len() {
+            let slot = &mut self.slots[idx];
+            if slot.obj.is_none() || slot.marked {
+                continue;
+            }
+            if let Some(fin) = slot.finalizer.take() {
+                // Go semantics: the object is resurrected for one cycle so
+                // its finalizer can observe it.
+                let h = Handle::new(idx as u32, slot.generation);
+                outcome.finalizable.push((h, fin));
+                continue;
+            }
+            slot.obj = None;
+            slot.generation = slot.generation.wrapping_add(1);
+            let bytes = slot.bytes;
+            self.free.push(idx as u32);
+            self.stats.on_free(bytes);
+            outcome.reclaimed_objects += 1;
+            outcome.reclaimed_bytes += bytes;
+        }
+        outcome
+    }
+
+    /// Attaches a finalizer payload to `h`. Returns `false` if the handle is
+    /// not live. Replaces any existing finalizer, like `runtime.SetFinalizer`.
+    pub fn set_finalizer(&mut self, h: Handle, fin: F) -> bool {
+        match self.slot_mut(h) {
+            Some(slot) => {
+                slot.finalizer = Some(fin);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `h` is live and has a finalizer attached.
+    pub fn has_finalizer(&self, h: Handle) -> bool {
+        self.slot(h).is_some_and(|s| s.finalizer.is_some())
+    }
+
+    /// Removes and returns the finalizer attached to `h`, if any.
+    pub fn take_finalizer(&mut self, h: Handle) -> Option<F> {
+        self.slot_mut(h)?.finalizer.take()
+    }
+
+    /// Recomputes the byte size of `h` after in-place growth (e.g. a channel
+    /// buffer that gained elements), keeping [`HeapStats`] truthful.
+    pub fn refresh_size(&mut self, h: Handle) {
+        if h.is_masked() {
+            return;
+        }
+        let Some(slot) = self.slots.get_mut(h.index() as usize) else { return };
+        if slot.generation != h.generation() {
+            return;
+        }
+        let Some(obj) = slot.obj.as_ref() else { return };
+        let new_bytes = obj.size_bytes() as u64;
+        let old = slot.bytes;
+        slot.bytes = new_bytes;
+        self.stats.heap_alloc_bytes = self.stats.heap_alloc_bytes - old + new_bytes;
+    }
+
+    /// Iterates over `(handle, object)` pairs for every live object.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &O)> {
+        self.slots.iter().enumerate().filter_map(|(idx, slot)| {
+            slot.obj.as_ref().map(|o| (Handle::new(idx as u32, slot.generation), o))
+        })
+    }
+
+    /// Iterates over the handles of every live object.
+    pub fn handles(&self) -> impl Iterator<Item = Handle> + '_ {
+        self.iter().map(|(h, _)| h)
+    }
+
+    /// Current heap statistics.
+    pub fn stats(&self) -> &HeapStats {
+        &self.stats
+    }
+
+    /// Resets the pacer window counters (`bytes_since_reset`,
+    /// `allocs_since_reset`), typically at the end of a GC cycle.
+    pub fn reset_alloc_window(&mut self) {
+        self.stats.bytes_since_reset = 0;
+        self.stats.allocs_since_reset = 0;
+    }
+
+    /// Checks internal invariants, returning a description of the first
+    /// violation found: the free list matches the empty slots, byte and
+    /// object accounting agree with a fresh traversal, and no freed slot
+    /// retains a mark or finalizer. Intended for tests and debug builds.
+    pub fn validate(&self) -> Result<(), String> {
+        let free_set: std::collections::HashSet<u32> = self.free.iter().copied().collect();
+        if free_set.len() != self.free.len() {
+            return Err("duplicate index on the free list".into());
+        }
+        let mut live = 0u64;
+        let mut bytes = 0u64;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let idx = idx as u32;
+            match &slot.obj {
+                Some(obj) => {
+                    if free_set.contains(&idx) {
+                        return Err(format!("occupied slot {idx} is on the free list"));
+                    }
+                    live += 1;
+                    bytes += slot.bytes;
+                    let _ = obj; // occupied slots may carry marks/finalizers
+                }
+                None => {
+                    if !free_set.contains(&idx) {
+                        return Err(format!("empty slot {idx} missing from the free list"));
+                    }
+                    if slot.marked {
+                        return Err(format!("freed slot {idx} still marked"));
+                    }
+                    if slot.finalizer.is_some() {
+                        return Err(format!("freed slot {idx} retains a finalizer"));
+                    }
+                }
+            }
+        }
+        if live != self.stats.heap_objects {
+            return Err(format!(
+                "object accounting drift: {} live vs {} recorded",
+                live, self.stats.heap_objects
+            ));
+        }
+        if bytes != self.stats.heap_alloc_bytes {
+            return Err(format!(
+                "byte accounting drift: {} live vs {} recorded",
+                bytes, self.stats.heap_alloc_bytes
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<O: Trace, F> Default for Heap<O, F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O: Trace + std::fmt::Debug, F> std::fmt::Debug for Heap<O, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Heap")
+            .field("objects", &self.len())
+            .field("bytes", &self.stats.heap_alloc_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Node {
+        next: Option<Handle>,
+        payload: usize,
+    }
+
+    impl Trace for Node {
+        fn trace(&self, visit: &mut dyn FnMut(Handle)) {
+            if let Some(n) = self.next {
+                visit(n);
+            }
+        }
+        fn size_bytes(&self) -> usize {
+            self.payload
+        }
+    }
+
+    fn leaf(payload: usize) -> Node {
+        Node { next: None, payload }
+    }
+
+    #[test]
+    fn alloc_and_get() {
+        let mut heap: Heap<Node> = Heap::new();
+        let h = heap.alloc(leaf(8));
+        assert_eq!(heap.get(h).unwrap().payload, 8);
+        assert!(heap.contains(h));
+        assert_eq!(heap.len(), 1);
+    }
+
+    #[test]
+    fn stale_handle_after_free() {
+        let mut heap: Heap<Node> = Heap::new();
+        let h = heap.alloc(leaf(8));
+        assert!(heap.free(h).is_some());
+        assert!(heap.get(h).is_none());
+        assert!(!heap.contains(h));
+        // Slot reuse produces a distinct handle.
+        let h2 = heap.alloc(leaf(9));
+        assert_eq!(h2.index(), h.index());
+        assert_ne!(h2, h);
+        assert!(heap.get(h).is_none());
+        assert_eq!(heap.get(h2).unwrap().payload, 9);
+    }
+
+    #[test]
+    fn double_free_is_none() {
+        let mut heap: Heap<Node> = Heap::new();
+        let h = heap.alloc(leaf(1));
+        assert!(heap.free(h).is_some());
+        assert!(heap.free(h).is_none());
+        assert_eq!(heap.len(), 0);
+    }
+
+    #[test]
+    fn masked_handles_do_not_resolve() {
+        let mut heap: Heap<Node> = Heap::new();
+        let h = heap.alloc(leaf(8));
+        assert!(heap.get(h.masked()).is_none());
+        assert!(!heap.try_mark(h.masked()));
+        assert!(!heap.is_marked(h.masked()));
+        // Unmasking restores access.
+        assert!(heap.get(h.masked().unmasked()).is_some());
+    }
+
+    #[test]
+    fn mark_and_sweep_reclaims_unmarked() {
+        let mut heap: Heap<Node> = Heap::new();
+        let a = heap.alloc(leaf(10));
+        let b = heap.alloc(leaf(20));
+        heap.clear_marks();
+        assert!(heap.try_mark(a));
+        assert!(!heap.try_mark(a), "second mark reports already-marked");
+        let out = heap.sweep_unmarked();
+        assert_eq!(out.reclaimed_objects, 1);
+        assert_eq!(out.reclaimed_bytes, 20);
+        assert!(heap.contains(a));
+        assert!(!heap.contains(b));
+    }
+
+    #[test]
+    fn sweep_resurrects_finalizable() {
+        let mut heap: Heap<Node, u32> = Heap::new();
+        let a = heap.alloc(leaf(10));
+        assert!(heap.set_finalizer(a, 42));
+        heap.clear_marks();
+        let out = heap.sweep_unmarked();
+        assert_eq!(out.reclaimed_objects, 0);
+        assert_eq!(out.finalizable, vec![(a, 42)]);
+        assert!(heap.contains(a));
+        assert!(!heap.has_finalizer(a), "finalizer is consumed");
+        // Second cycle: no finalizer left, object dies.
+        heap.clear_marks();
+        let out = heap.sweep_unmarked();
+        assert_eq!(out.reclaimed_objects, 1);
+        assert!(!heap.contains(a));
+    }
+
+    #[test]
+    fn finalizer_on_dead_handle_fails() {
+        let mut heap: Heap<Node, u32> = Heap::new();
+        let a = heap.alloc(leaf(1));
+        heap.free(a);
+        assert!(!heap.set_finalizer(a, 1));
+        assert!(heap.take_finalizer(a).is_none());
+    }
+
+    #[test]
+    fn refresh_size_adjusts_stats() {
+        let mut heap: Heap<Node> = Heap::new();
+        let h = heap.alloc(leaf(10));
+        assert_eq!(heap.stats().heap_alloc_bytes, 10);
+        heap.get_mut(h).unwrap().payload = 100;
+        heap.refresh_size(h);
+        assert_eq!(heap.stats().heap_alloc_bytes, 100);
+        // Sweep reclaims the refreshed size.
+        heap.clear_marks();
+        let out = heap.sweep_unmarked();
+        assert_eq!(out.reclaimed_bytes, 100);
+        assert_eq!(heap.stats().heap_alloc_bytes, 0);
+    }
+
+    #[test]
+    fn iter_visits_live_only() {
+        let mut heap: Heap<Node> = Heap::new();
+        let a = heap.alloc(leaf(1));
+        let b = heap.alloc(leaf(2));
+        heap.free(a);
+        let seen: Vec<Handle> = heap.handles().collect();
+        assert_eq!(seen, vec![b]);
+    }
+
+    #[test]
+    fn trace_reaches_children() {
+        let mut heap: Heap<Node> = Heap::new();
+        let tail = heap.alloc(leaf(1));
+        let head = heap.alloc(Node { next: Some(tail), payload: 1 });
+        heap.clear_marks();
+        let mut work = vec![head];
+        let mut visited = 0;
+        while let Some(h) = work.pop() {
+            if heap.try_mark(h) {
+                visited += 1;
+                heap.get(h).unwrap().trace(&mut |c| work.push(c));
+            }
+        }
+        assert_eq!(visited, 2);
+        assert_eq!(heap.sweep_unmarked().reclaimed_objects, 0);
+    }
+
+    #[test]
+    fn validate_passes_through_lifecycle() {
+        let mut heap: Heap<Node, u32> = Heap::new();
+        heap.validate().unwrap();
+        let a = heap.alloc(leaf(4));
+        let b = heap.alloc(leaf(8));
+        heap.set_finalizer(b, 9);
+        heap.validate().unwrap();
+        heap.free(a);
+        heap.validate().unwrap();
+        heap.clear_marks();
+        heap.sweep_unmarked(); // resurrects b (finalizer), frees nothing else
+        heap.validate().unwrap();
+        heap.clear_marks();
+        heap.sweep_unmarked(); // b dies now
+        heap.validate().unwrap();
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn pacer_window_resets() {
+        let mut heap: Heap<Node> = Heap::new();
+        heap.alloc(leaf(5));
+        assert_eq!(heap.stats().bytes_since_reset, 5);
+        heap.reset_alloc_window();
+        assert_eq!(heap.stats().bytes_since_reset, 0);
+        heap.alloc(leaf(7));
+        assert_eq!(heap.stats().bytes_since_reset, 7);
+        assert_eq!(heap.stats().total_alloc_bytes, 12);
+    }
+}

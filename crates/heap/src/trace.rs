@@ -1,0 +1,77 @@
+//! The tracing interface between heap objects and the collector.
+
+use crate::Handle;
+
+/// Types that can live on a [`Heap`](crate::Heap) and report their outgoing
+/// references to the collector.
+///
+/// This is the analogue of the per-type pointer bitmaps Go's GC consults
+/// while scanning: `trace` must invoke `visit` once for every handle the
+/// object stores. Failing to report a reference makes the collector unsound
+/// (it may free a reachable object), so implementations should be exhaustive.
+///
+/// # Example
+///
+/// ```
+/// use golf_heap::{Handle, Trace};
+///
+/// enum Object {
+///     Pair(Handle, Handle),
+///     Leaf(i64),
+/// }
+///
+/// impl Trace for Object {
+///     fn trace(&self, visit: &mut dyn FnMut(Handle)) {
+///         if let Object::Pair(a, b) = self {
+///             visit(*a);
+///             visit(*b);
+///         }
+///     }
+///
+///     fn size_bytes(&self) -> usize {
+///         match self {
+///             Object::Pair(..) => 16,
+///             Object::Leaf(_) => 8,
+///         }
+///     }
+/// }
+/// ```
+pub trait Trace {
+    /// Reports every handle stored in `self` to the collector.
+    ///
+    /// Masked handles (see [`Handle::is_masked`]) may be reported; the
+    /// marker skips them, mirroring GOLF's address obfuscation.
+    fn trace(&self, visit: &mut dyn FnMut(Handle));
+
+    /// An estimate of the object's size in bytes, used for `HeapAlloc`-style
+    /// accounting. Defaults to the shallow Rust size of the value.
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+
+    /// A short human-readable kind name used in reports and debugging.
+    fn kind(&self) -> &'static str {
+        "object"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Chain(Option<Handle>);
+    impl Trace for Chain {
+        fn trace(&self, visit: &mut dyn FnMut(Handle)) {
+            if let Some(h) = self.0 {
+                visit(h);
+            }
+        }
+    }
+
+    #[test]
+    fn default_size_is_shallow() {
+        let c = Chain(None);
+        assert_eq!(c.size_bytes(), std::mem::size_of::<Chain>());
+        assert_eq!(c.kind(), "object");
+    }
+}

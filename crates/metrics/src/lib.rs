@@ -1,0 +1,18 @@
+//! # golf-metrics
+//!
+//! Small, dependency-light statistics and reporting utilities shared by the
+//! golf experiment harnesses: percentile estimation for latency tables,
+//! five-number summaries for the marking-slowdown box plots (paper
+//! Figure 4), mean ± standard deviation for the production table (Table 3),
+//! time series for Figure 1, and plain-text/markdown/CSV table rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod series;
+mod summary;
+mod table;
+
+pub use series::TimeSeries;
+pub use summary::{mean_std, percentile, BoxPlot, MeanStd};
+pub use table::{Align, Table};

@@ -1,0 +1,142 @@
+//! Time series for Figure-1-style plots.
+
+use serde::{Deserialize, Serialize};
+
+/// An append-only `(t, value)` series with CSV export and windowed
+/// aggregation — used for the blocked-goroutine-over-time plot (paper
+/// Figure 1) and for 3-minute metric emission windows (Table 3).
+///
+/// # Example
+///
+/// ```
+/// use golf_metrics::TimeSeries;
+/// let mut s = TimeSeries::new("blocked_goroutines");
+/// s.push(0, 1.0);
+/// s.push(60, 5.0);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.to_csv().starts_with("t,blocked_goroutines\n0,1\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series with a column name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), points: Vec::new() }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point. Timestamps should be non-decreasing; this is not
+    /// enforced, but windowing assumes it.
+    pub fn push(&mut self, t: u64, value: f64) {
+        self.points.push((t, value));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The values only.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// The maximum value, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// Buckets points into fixed-width windows of `width` time units,
+    /// returning `(window_start, mean_value)` per non-empty window.
+    pub fn windowed_mean(&self, width: u64) -> Vec<(u64, f64)> {
+        assert!(width > 0, "window width must be positive");
+        let mut out: Vec<(u64, f64)> = Vec::new();
+        let mut current: Option<(u64, f64, usize)> = None;
+        for &(t, v) in &self.points {
+            let w = (t / width) * width;
+            match current {
+                Some((cw, sum, n)) if cw == w => current = Some((cw, sum + v, n + 1)),
+                Some((cw, sum, n)) => {
+                    out.push((cw, sum / n as f64));
+                    current = Some((w, v, 1));
+                }
+                None => current = Some((w, v, 1)),
+            }
+        }
+        if let Some((cw, sum, n)) = current {
+            out.push((cw, sum / n as f64));
+        }
+        out
+    }
+
+    /// Renders `t,<name>` CSV.
+    pub fn to_csv(&self) -> String {
+        let mut s = format!("t,{}\n", self.name);
+        for &(t, v) in &self.points {
+            s.push_str(&format!("{t},{v}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_mean_buckets() {
+        let mut s = TimeSeries::new("x");
+        s.push(0, 1.0);
+        s.push(5, 3.0);
+        s.push(10, 10.0);
+        s.push(25, 4.0);
+        let w = s.windowed_mean(10);
+        assert_eq!(w, vec![(0, 2.0), (10, 10.0), (20, 4.0)]);
+    }
+
+    #[test]
+    fn max_and_values() {
+        let mut s = TimeSeries::new("x");
+        assert_eq!(s.max(), None);
+        s.push(0, 1.5);
+        s.push(1, -2.0);
+        assert_eq!(s.max(), Some(1.5));
+        assert_eq!(s.values(), vec![1.5, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width")]
+    fn zero_window_panics() {
+        TimeSeries::new("x").windowed_mean(0);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let mut s = TimeSeries::new("v");
+        s.push(3, 0.5);
+        assert_eq!(s.to_csv(), "t,v\n3,0.5\n");
+    }
+}

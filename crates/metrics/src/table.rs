@@ -1,0 +1,167 @@
+//! Plain-text table rendering for experiment reports.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple monospace table builder used by every `table*`/`fig*` binary to
+/// print paper-style tables.
+///
+/// # Example
+///
+/// ```
+/// use golf_metrics::{Table, Align};
+/// let mut t = Table::new(vec!["Benchmark", "Total"]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["cockroach/6181:58".into(), "97.50%".into()]);
+/// let s = t.render();
+/// assert!(s.contains("cockroach/6181:58"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        let aligns = vec![Align::Left; headers.len()];
+        Table { headers: headers.into_iter().map(String::from).collect(), aligns, rows: Vec::new() }
+    }
+
+    /// Sets the alignment of column `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn align(&mut self, idx: usize, align: Align) -> &mut Self {
+        self.aligns[idx] = align;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header separator.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cell.chars().count();
+                match self.aligns[i] {
+                    Align::Left => {
+                        line.push_str(cell);
+                        line.push_str(&" ".repeat(pad));
+                    }
+                    Align::Right => {
+                        line.push_str(&" ".repeat(pad));
+                        line.push_str(cell);
+                    }
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders comma-separated values (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.align(1, Align::Right);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "100".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].starts_with("long-name"));
+        assert!(lines[2].ends_with("  1") || lines[2].ends_with(" 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        Table::new(vec!["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x,y".into(), "z\"q".into()]);
+        assert_eq!(t.to_csv(), "a,b\n\"x,y\",\"z\"\"q\"\n");
+    }
+
+    #[test]
+    fn len_tracks_rows() {
+        let mut t = Table::new(vec!["a"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! The 54 deterministic goker benchmarks (86 leaky sites) — Table 1's
+//! "Remaining" rows, detected in 100% of runs. Each distills one GoBench
+//! blocking-bug pattern; names follow goker's `project/issue` convention.
+//!
+//! What the families model, in terms of the real-world bugs GoBench draws
+//! from (issue numbers name the upstream project's tracker entry the
+//! pattern is distilled from):
+//!
+//! * **A — unconsumed completion channel**: a helper hands back a `done`
+//!   channel nobody reads (cockroachdb's early gossip code, grpc-go's
+//!   connectivity watchers). The single most common leak in the wild.
+//! * **B — double send**: error and result delivered on separate sends;
+//!   the receiver takes whichever comes first and leaves.
+//! * **C — missed close over ranged channels**: `for range ch` consumers
+//!   whose producer forgets `close(ch)` on an error path.
+//! * **D — abandoned timeout**: `select { <-result, <-time.After }` where
+//!   the loser's send has no way out (etcd/cockroach request paths).
+//! * **E — WaitGroup miscount**: `Add` called for work that never `Done`s.
+//! * **F — lock-order inversion**: classic ABBA between two mutexes.
+//! * **G — condition variable without a signaler**: `Wait` after the last
+//!   `Signal` already fired (moby container-wait regressions).
+//! * **H — fan-out without drain**: first-response-wins over an unbuffered
+//!   channel strands the losers.
+//! * **I — nil channel**: operations on never-assigned channel fields.
+//! * **J — fully orphaned select**: shutdown signal channel dropped by the
+//!   supervisor.
+//! * **K — crossed handshake**: both peers receive before sending.
+//! * **L — abandoned read lock**: an RLock holder parks forever, starving
+//!   writers (kubernetes informer-cache incidents).
+//! * **M — exhausted channel semaphore**: acquire-without-release on a
+//!   buffered-channel token pool.
+//! * **N — abandoned pipeline**: a mid-pipeline stage's input never closes,
+//!   wedging every stage downstream.
+//! * **O — forgotten cancellation**: the `context`-ish done channel is
+//!   never closed.
+//! * **P — forgotten unlock**: early error return skips `Unlock` (fixed in
+//!   Go by `defer`, recreated whenever someone refactors the defer away).
+//! * **Q — broken barrier**: one counted party blocks before its `Done`.
+//! * **R — request/response drop**: a server answers a client that already
+//!   hung up, then never serves the next request.
+//! * **S — missed broadcast**: `Broadcast` races ahead of `Wait`.
+//! * **T — stopped-service ticker**: a worker outlives the service and
+//!   waits on its stop channel forever.
+//! * **U — triple-source fan-in**: three producers, zero consumers after an
+//!   early return.
+//! * **V — task + cleanup pair**: both the work goroutine and its janitor
+//!   are orphaned together.
+//! * **W — WaitGroup + channel mix**: a counted worker blocks on a channel,
+//!   wedging the `Wait`er transitively.
+
+use super::patterns as pat;
+use super::{Microbenchmark, Source};
+
+/// Registers a deterministic benchmark backed by a pattern builder.
+macro_rules! det {
+    // with a fixed variant
+    ($v:ident, $name:literal, [$($site:literal),+ $(,)?],
+     $pattern:ident($($arg:expr),*), fixed) => {
+        $v.push(Microbenchmark {
+            name: $name,
+            source: Source::GoBench,
+            flakiness: 1,
+            sites: vec![$($site),+],
+            build: |n| pat::build_with($name, n, |p| pat::$pattern(p, $name, $($arg,)* false)),
+            build_fixed: Some(|n| {
+                pat::build_with($name, n, |p| pat::$pattern(p, $name, $($arg,)* true))
+            }),
+        });
+    };
+    // buggy only
+    ($v:ident, $name:literal, [$($site:literal),+ $(,)?],
+     $pattern:ident($($arg:expr),*)) => {
+        $v.push(Microbenchmark {
+            name: $name,
+            source: Source::GoBench,
+            flakiness: 1,
+            sites: vec![$($site),+],
+            build: |n| pat::build_with($name, n, |p| pat::$pattern(p, $name, $($arg,)* false)),
+            build_fixed: None,
+        });
+    };
+}
+
+pub(super) fn register(v: &mut Vec<Microbenchmark>) {
+    // -- family A: unconsumed completion channel -------------------------
+    det!(v, "cockroach/584", ["cockroach/584:64"], unused_done(64), fixed);
+    det!(v, "cockroach/1055", ["cockroach/1055:27"], unused_done(27), fixed);
+    det!(v, "grpc/660", ["grpc/660:41"], unused_done(41), fixed);
+
+    // -- family B: double send -------------------------------------------
+    det!(v, "cockroach/1462", ["cockroach/1462:95"], double_send(95), fixed);
+    det!(v, "grpc/795", ["grpc/795:57"], double_send(57), fixed);
+    det!(v, "moby/4951", ["moby/4951:34"], double_send(34), fixed);
+
+    // -- family C: missed close over ranged channels ----------------------
+    det!(v, "cockroach/2448", ["cockroach/2448:26", "cockroach/2448:32"],
+        missing_close_range(26, 32), fixed);
+    det!(v, "etcd/5509", ["etcd/5509:103", "etcd/5509:109"],
+        missing_close_range(103, 109), fixed);
+
+    // -- family D: abandoned timeout --------------------------------------
+    det!(v, "cockroach/3710", ["cockroach/3710:200"], timeout_abandon(200), fixed);
+    det!(v, "grpc/862", ["grpc/862:53"], timeout_abandon(53), fixed);
+    det!(v, "istio/16224", ["istio/16224:74", "istio/16224:80", "istio/16224:86"],
+        triple_fan_in(74, 80, 86), fixed);
+
+    // -- family E: WaitGroup miscount -------------------------------------
+    det!(v, "cockroach/9935", ["cockroach/9935:46"], wg_mismatch(46), fixed);
+    det!(v, "moby/7559", ["moby/7559:29"], wg_mismatch(29), fixed);
+
+    // -- family F: lock-order inversion -----------------------------------
+    det!(v, "cockroach/10214", ["cockroach/10214:145", "cockroach/10214:152"],
+        lock_order(145, 152), fixed);
+    det!(v, "etcd/6708", ["etcd/6708:80", "etcd/6708:87"], lock_order(80, 87), fixed);
+
+    // -- family G: condition variable without a signaler ------------------
+    det!(v, "cockroach/10790", ["cockroach/10790:58"], cond_no_signal(58), fixed);
+    det!(v, "moby/17176", ["moby/17176:39"], cond_no_signal(39), fixed);
+
+    // -- family H: fan-out without drain ----------------------------------
+    det!(v, "cockroach/13197", ["cockroach/13197:67"], fanout_no_drain(67, 4));
+    det!(v, "grpc/1275", ["grpc/1275:44", "grpc/1275:50", "grpc/1275:56"],
+        triple_fan_in(44, 50, 56));
+
+    // -- family I: nil channel --------------------------------------------
+    det!(v, "cockroach/13755", ["cockroach/13755:32"], nil_chan_block(32));
+    det!(v, "etcd/6857", ["etcd/6857:58"], nil_chan_block(58));
+
+    // -- family J: fully orphaned select ----------------------------------
+    det!(v, "cockroach/16167", ["cockroach/16167:84"], orphan_select(84));
+    det!(v, "grpc/1424", ["grpc/1424:40"], orphan_select(40));
+
+    // -- family K: crossed handshake --------------------------------------
+    det!(v, "cockroach/18101", ["cockroach/18101:30", "cockroach/18101:36"],
+        crossed_handshake(30, 36));
+    det!(v, "moby/21233", ["moby/21233:155", "moby/21233:161"],
+        crossed_handshake(155, 161));
+
+    // -- family L: abandoned read lock ------------------------------------
+    det!(v, "cockroach/24808", ["cockroach/24808:71", "cockroach/24808:76"],
+        rwlock_abandon(71, 76));
+    det!(v, "etcd/6873", ["etcd/6873:44", "etcd/6873:50"], rwlock_abandon(44, 50));
+
+    // -- family M: exhausted channel semaphore ----------------------------
+    det!(v, "cockroach/25456", ["cockroach/25456:28"], semaphore_exhaust(28, 2));
+    det!(v, "moby/25384", ["moby/25384:40"], semaphore_exhaust(40, 1));
+
+    // -- family N: abandoned pipeline -------------------------------------
+    det!(v, "cockroach/35073", ["cockroach/35073:133", "cockroach/35073:139"],
+        pipeline_abandon(133, 139));
+    det!(v, "syncthing/4829", ["syncthing/4829:88", "syncthing/4829:94"],
+        pipeline_abandon(88, 94));
+
+    // -- family O: forgotten cancellation ----------------------------------
+    det!(v, "cockroach/35931", ["cockroach/35931:46"], ctx_cancel_forgotten(46));
+    det!(v, "istio/17860", ["istio/17860:114"], ctx_cancel_forgotten(114));
+
+    // -- family P: forgotten unlock on an error path ----------------------
+    det!(v, "etcd/10492", ["etcd/10492:65"], forgotten_unlock(65));
+    det!(v, "moby/28462", ["moby/28462:88"], forgotten_unlock(88));
+
+    // -- family Q: broken barrier -----------------------------------------
+    det!(v, "kubernetes/5316", ["kubernetes/5316:58", "kubernetes/5316:63"],
+        broken_barrier(58, 63));
+    det!(v, "moby/30408", ["moby/30408:22", "moby/30408:28"], broken_barrier(22, 28));
+
+    // -- family R: request/response with dropped response ------------------
+    det!(v, "kubernetes/6632", ["kubernetes/6632:97", "kubernetes/6632:103"],
+        request_response_drop(97, 103));
+    det!(v, "syncthing/5795", ["syncthing/5795:36", "syncthing/5795:41"],
+        request_response_drop(36, 41));
+
+    // -- family S: missed broadcast ----------------------------------------
+    det!(v, "moby/33293", ["moby/33293:29"], missed_broadcast(29));
+    det!(v, "istio/18454", ["istio/18454:52"], missed_broadcast(52));
+
+    // -- family T: stopped-service ticker -----------------------------------
+    det!(v, "moby/36114", ["moby/36114:46"], ticker_stop_leak(46));
+    det!(v, "serving/2137", ["serving/2137:90"], ticker_stop_leak(90));
+
+    // -- family U: triple-source fan-in -------------------------------------
+    det!(v, "grpc/2166", ["grpc/2166:37", "grpc/2166:43", "grpc/2166:49"],
+        triple_fan_in(37, 43, 49));
+    det!(v, "cockroach/30135", ["cockroach/30135:81", "cockroach/30135:87", "cockroach/30135:93"],
+        triple_fan_in(81, 87, 93));
+    det!(v, "etcd/7902", ["etcd/7902:55", "etcd/7902:61", "etcd/7902:67"],
+        triple_fan_in(55, 61, 67));
+
+    // -- family V: task plus cleanup pair -----------------------------------
+    det!(v, "kubernetes/30872", ["kubernetes/30872:556", "kubernetes/30872:562"],
+        task_plus_cleanup(556, 562));
+    det!(v, "kubernetes/38669", ["kubernetes/38669:73", "kubernetes/38669:79"],
+        task_plus_cleanup(73, 79));
+    det!(v, "moby/29733", ["moby/29733:62", "moby/29733:68"], task_plus_cleanup(62, 68));
+    det!(v, "grpc/3120", ["grpc/3120:104", "grpc/3120:110"], task_plus_cleanup(104, 110));
+
+    // -- family W: WaitGroup + channel mix ----------------------------------
+    det!(v, "kubernetes/70277", ["kubernetes/70277:42", "kubernetes/70277:48"],
+        wg_chan_mix(42, 48));
+    det!(v, "moby/27782", ["moby/27782:171", "moby/27782:177"], wg_chan_mix(171, 177));
+    det!(v, "syncthing/6182", ["syncthing/6182:24", "syncthing/6182:30"],
+        wg_chan_mix(24, 30));
+    det!(v, "istio/20685", ["istio/20685:61", "istio/20685:67"], wg_chan_mix(61, 67));
+}

@@ -1,0 +1,500 @@
+//! The 13 schedule-sensitive goker benchmarks named individually in the
+//! paper's Table 1 (27 leaky sites). Their defects manifest only on some
+//! executions — through data-dependent branches (`rand_chance`) or real
+//! scheduling races against timers, which is also what makes their
+//! detection rates vary with `GOMAXPROCS`.
+
+use super::patterns as pat;
+use super::{Microbenchmark, Source};
+use golf_runtime::{FuncBuilder, FuncId, ProgramSet, SelectSpec};
+
+/// Two independent completion-channel tasks, each leaked with probability
+/// `num/den` (the healthy path consumes the completion).
+fn prob_pair(p: &mut ProgramSet, name: &str, l1: u32, l2: u32, num: i64, den: i64) -> FuncId {
+    let s1 = p.site(format!("{name}:{l1}"));
+    let s2 = p.site(format!("{name}:{l2}"));
+
+    let mut b = FuncBuilder::new("task", 1);
+    let done = b.param(0);
+    b.sleep(2);
+    let v = b.int(1);
+    b.send(done, v);
+    b.ret(None);
+    let task = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let d1 = b.var("d1");
+    let d2 = b.var("d2");
+    b.make_chan(d1, 0);
+    b.make_chan(d2, 0);
+    b.go(task, &[d1], s1);
+    b.go(task, &[d2], s2);
+    let leak = b.var("leak");
+    b.rand_chance(leak, num, den);
+    let skip = b.label();
+    b.jump_if(leak, skip);
+    b.recv(d1, None);
+    b.recv(d2, None);
+    b.bind(skip);
+    b.ret(None);
+    p.define(b)
+}
+
+/// Lock-order inversion taken with probability `num/den`.
+fn prob_lock_order(p: &mut ProgramSet, name: &str, l1: u32, l2: u32, num: i64, den: i64) -> FuncId {
+    let s1 = p.site(format!("{name}:{l1}"));
+    let s2 = p.site(format!("{name}:{l2}"));
+    let mut b = FuncBuilder::new("locker", 2);
+    let first = b.param(0);
+    let second = b.param(1);
+    b.lock(first);
+    b.sleep(4);
+    b.lock(second);
+    b.unlock(second);
+    b.unlock(first);
+    b.ret(None);
+    let locker = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let mu1 = b.var("mu1");
+    let mu2 = b.var("mu2");
+    b.new_mutex(mu1);
+    b.new_mutex(mu2);
+    b.go(locker, &[mu1, mu2], s1);
+    let invert = b.var("invert");
+    b.rand_chance(invert, num, den);
+    b.if_else(
+        invert,
+        |b| b.go(locker, &[mu2, mu1], s2),
+        |b| b.go(locker, &[mu1, mu2], s2),
+    );
+    b.ret(None);
+    p.define(b)
+}
+
+/// Gated missed-close (Listing 3 shape).
+fn prob_missing_close(p: &mut ProgramSet, name: &str, l1: u32, l2: u32, num: i64, den: i64) -> FuncId {
+    let s1 = p.site(format!("{name}:{l1}"));
+    let s2 = p.site(format!("{name}:{l2}"));
+    let mut b = FuncBuilder::new("ranger", 1);
+    let ch = b.param(0);
+    let item = b.var("item");
+    b.range_chan(ch, item, |_| {});
+    b.ret(None);
+    let ranger = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let e = b.var("e");
+    let d = b.var("d");
+    b.make_chan(e, 0);
+    b.make_chan(d, 0);
+    b.go(ranger, &[e], s1);
+    b.go(ranger, &[d], s2);
+    let leak = b.var("leak");
+    b.rand_chance(leak, num, den);
+    let skip = b.label();
+    b.jump_if(leak, skip);
+    b.close_chan(e);
+    b.close_chan(d);
+    b.bind(skip);
+    b.ret(None);
+    p.define(b)
+}
+
+/// Gated orphan select: the shutdown close is skipped with `num/den`.
+fn prob_orphan_select(p: &mut ProgramSet, name: &str, line: u32, num: i64, den: i64) -> FuncId {
+    let s = p.site(format!("{name}:{line}"));
+    let mut b = FuncBuilder::new("selector", 2);
+    let ch1 = b.param(0);
+    let ch2 = b.param(1);
+    let l1 = b.label();
+    let l2 = b.label();
+    b.select(SelectSpec::new().recv(ch1, None, l1).recv(ch2, None, l2));
+    b.bind(l1);
+    b.bind(l2);
+    b.ret(None);
+    let selector = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let ch1 = b.var("ch1");
+    let ch2 = b.var("ch2");
+    b.make_chan(ch1, 0);
+    b.make_chan(ch2, 0);
+    b.go(selector, &[ch1, ch2], s);
+    let leak = b.var("leak");
+    b.rand_chance(leak, num, den);
+    let skip = b.label();
+    b.jump_if(leak, skip);
+    b.close_chan(ch1);
+    b.bind(skip);
+    b.ret(None);
+    p.define(b)
+}
+
+/// Gated crossed handshake: the peer takes the deadlocking order with
+/// `num/den`.
+fn prob_handshake(p: &mut ProgramSet, name: &str, l1: u32, l2: u32, num: i64, den: i64) -> FuncId {
+    let s1 = p.site(format!("{name}:{l1}"));
+    let s2 = p.site(format!("{name}:{l2}"));
+    let mut b = FuncBuilder::new("left", 2);
+    let a = b.param(0);
+    let bb = b.param(1);
+    let v = b.int(1);
+    b.recv(a, None);
+    b.send(bb, v);
+    b.ret(None);
+    let left = p.define(b);
+
+    let mut b = FuncBuilder::new("right", 3); // a, b, invert
+    let a = b.param(0);
+    let bb = b.param(1);
+    let invert = b.param(2);
+    let v = b.int(2);
+    b.if_else(
+        invert,
+        |b| {
+            b.recv(bb, None); // deadlocks: both sides receive first
+            b.send(a, v);
+        },
+        |b| {
+            b.send(a, v);
+            b.recv(bb, None);
+        },
+    );
+    b.ret(None);
+    let right = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let a = b.var("a");
+    let bb = b.var("b");
+    b.make_chan(a, 0);
+    b.make_chan(bb, 0);
+    let invert = b.var("invert");
+    b.rand_chance(invert, num, den);
+    b.go(left, &[a, bb], s1);
+    b.go(right, &[a, bb, invert], s2);
+    b.ret(None);
+    p.define(b)
+}
+
+/// Gated forgotten cancellation.
+fn prob_ctx_cancel(p: &mut ProgramSet, name: &str, line: u32, num: i64, den: i64) -> FuncId {
+    let s = p.site(format!("{name}:{line}"));
+    let mut b = FuncBuilder::new("ctx_worker", 1);
+    let done = b.param(0);
+    b.recv(done, None);
+    b.ret(None);
+    let worker = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let done = b.var("done");
+    b.make_chan(done, 0);
+    b.go(worker, &[done], s);
+    let leak = b.var("leak");
+    b.rand_chance(leak, num, den);
+    let skip = b.label();
+    b.jump_if(leak, skip);
+    b.close_chan(done);
+    b.bind(skip);
+    b.ret(None);
+    p.define(b)
+}
+
+/// Gated abandoned read-lock.
+fn prob_rwlock(p: &mut ProgramSet, name: &str, l1: u32, l2: u32, num: i64, den: i64) -> FuncId {
+    let s1 = p.site(format!("{name}:{l1}"));
+    let s2 = p.site(format!("{name}:{l2}"));
+    let mut b = FuncBuilder::new("reader", 3); // rw, ch, stuck
+    let rw = b.param(0);
+    let ch = b.param(1);
+    let stuck = b.param(2);
+    b.rlock(rw);
+    b.if_then(stuck, |b| b.recv(ch, None));
+    b.runlock(rw);
+    b.ret(None);
+    let reader = p.define(b);
+
+    let mut b = FuncBuilder::new("writer", 1);
+    let rw = b.param(0);
+    b.sleep(4);
+    b.wlock(rw);
+    b.wunlock(rw);
+    b.ret(None);
+    let writer = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let rw = b.var("rw");
+    let ch = b.var("ch");
+    b.new_rwlock(rw);
+    b.make_chan(ch, 0);
+    let stuck = b.var("stuck");
+    b.rand_chance(stuck, num, den);
+    b.go(reader, &[rw, ch, stuck], s1);
+    b.go(writer, &[rw], s2);
+    b.ret(None);
+    p.define(b)
+}
+
+/// Gated WaitGroup miscount.
+fn prob_wg(p: &mut ProgramSet, name: &str, line: u32, num: i64, den: i64) -> FuncId {
+    let s = p.site(format!("{name}:{line}"));
+    let doer_site = p.site(format!("{name}:doer"));
+    let mut b = FuncBuilder::new("waiter", 1);
+    let wg = b.param(0);
+    b.wg_wait(wg);
+    b.ret(None);
+    let waiter = p.define(b);
+
+    let mut b = FuncBuilder::new("doer", 1);
+    let wg = b.param(0);
+    b.sleep(2);
+    b.wg_done(wg);
+    b.ret(None);
+    let doer = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let wg = b.var("wg");
+    b.new_waitgroup(wg);
+    let over = b.var("over");
+    b.rand_chance(over, num, den);
+    b.if_else(over, |b| b.wg_add(wg, 2), |b| b.wg_add(wg, 1));
+    b.go(doer, &[wg], doer_site);
+    b.go(waiter, &[wg], s);
+    b.ret(None);
+    p.define(b)
+}
+
+/// Three racing fan-in workers with the paper's grpc/3017 shape: the
+/// parent's *fast* path (result before timeout) forgets each worker's
+/// `done` channel. See [`pat::race_timeout`].
+fn race_trio(
+    p: &mut ProgramSet,
+    name: &str,
+    lines: [u32; 3],
+    work_slots: i64,
+    timeout: u64,
+    leak_when_fast: bool,
+) -> FuncId {
+    let subs: Vec<FuncId> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, &line)| {
+            // Each sub-scenario gets unique function names via a prefix.
+            let sub = pat::race_timeout_named(
+                p,
+                name,
+                &format!("r{i}"),
+                line,
+                work_slots,
+                timeout,
+                leak_when_fast,
+            );
+            sub
+        })
+        .collect();
+    let sub_site = p.site(format!("{name}:sub"));
+    let mut b = FuncBuilder::new("scenario", 0);
+    for f in subs {
+        b.go(f, &[], sub_site);
+    }
+    b.ret(None);
+    p.define(b)
+}
+
+pub(super) fn register(v: &mut Vec<Microbenchmark>) {
+    // cockroach/6181 — ctx-cancel double monitor; ~97.5% / ~98.25%.
+    v.push(Microbenchmark {
+        name: "cockroach/6181",
+        source: Source::GoBench,
+        flakiness: 100,
+        sites: vec!["cockroach/6181:58", "cockroach/6181:65"],
+        build: |n| pat::build_with("cockroach/6181", n, |p| {
+            prob_pair(p, "cockroach/6181", 58, 65, 37, 100)
+        }),
+        build_fixed: Some(|n| pat::build_with("cockroach/6181", n, |p| {
+            prob_pair(p, "cockroach/6181", 58, 65, 0, 100)
+        })),
+    });
+
+    // cockroach/7504 — lock-order inversion; ~99.75%.
+    v.push(Microbenchmark {
+        name: "cockroach/7504",
+        source: Source::GoBench,
+        flakiness: 1000,
+        sites: vec!["cockroach/7504:170", "cockroach/7504:177"],
+        build: |n| pat::build_with("cockroach/7504", n, |p| {
+            prob_lock_order(p, "cockroach/7504", 170, 177, 31, 100)
+        }),
+        build_fixed: Some(|n| pat::build_with("cockroach/7504", n, |p| {
+            prob_lock_order(p, "cockroach/7504", 170, 177, 0, 100)
+        })),
+    });
+
+    // etcd/7443 — watcher-shielded leaks; near 0% (GOLF false negative,
+    // rare detections only when the cancel wins its startup race).
+    v.push(Microbenchmark {
+        name: "etcd/7443",
+        source: Source::GoBench,
+        flakiness: 10_000,
+        sites: vec![
+            "etcd/7443:96",
+            "etcd/7443:128",
+            "etcd/7443:215",
+            "etcd/7443:221",
+            "etcd/7443:225",
+        ],
+        build: |n| pat::build_with("etcd/7443", n, |p| {
+            pat::keeper_shielded(p, "etcd/7443", &[96, 128, 215, 221, 225], 18, 12)
+        }),
+        build_fixed: None,
+    });
+
+    // grpc/1460 — double monitor with gated consumption; ~98.5%.
+    v.push(Microbenchmark {
+        name: "grpc/1460",
+        source: Source::GoBench,
+        flakiness: 10,
+        sites: vec!["grpc/1460:83", "grpc/1460:85"],
+        build: |n| pat::build_with("grpc/1460", n, |p| {
+            prob_pair(p, "grpc/1460", 83, 85, 65, 100)
+        }),
+        build_fixed: Some(|n| pat::build_with("grpc/1460", n, |p| {
+            prob_pair(p, "grpc/1460", 83, 85, 0, 100)
+        })),
+    });
+
+    // grpc/3017 — leak on the FAST path: needs parallelism to manifest
+    // (0% at one core in the paper).
+    v.push(Microbenchmark {
+        name: "grpc/3017",
+        source: Source::GoBench,
+        flakiness: 100,
+        sites: vec!["grpc/3017:71", "grpc/3017:97", "grpc/3017:106"],
+        build: |n| pat::build_with("grpc/3017", n, |p| {
+            race_trio(p, "grpc/3017", [71, 97, 106], 6, 140, true)
+        }),
+        build_fixed: None,
+    });
+
+    // hugo/3261 — leak on the SLOW path: very parallel runs occasionally
+    // beat the timeout and avoid the leak (83% at 10 cores).
+    v.push(Microbenchmark {
+        name: "hugo/3261",
+        source: Source::GoBench,
+        flakiness: 100,
+        sites: vec!["hugo/3261:54", "hugo/3261:62"],
+        build: |n| pat::build_with("hugo/3261", n, |p| {
+            let a = pat::race_timeout_named(p, "hugo/3261", "a", 54, 10, 18, false);
+            let c = pat::race_timeout_named(p, "hugo/3261", "b", 62, 10, 18, false);
+            let mut b = FuncBuilder::new("scenario", 0);
+            b.call(a, &[], None);
+            b.call(c, &[], None);
+            b.ret(None);
+            p.define(b)
+        }),
+        build_fixed: None,
+    });
+
+    // kubernetes/1321 — gated missed close; ~99.75%.
+    v.push(Microbenchmark {
+        name: "kubernetes/1321",
+        source: Source::GoBench,
+        flakiness: 10,
+        sites: vec!["kubernetes/1321:52", "kubernetes/1321:95"],
+        build: |n| pat::build_with("kubernetes/1321", n, |p| {
+            prob_missing_close(p, "kubernetes/1321", 52, 95, 78, 100)
+        }),
+        build_fixed: Some(|n| pat::build_with("kubernetes/1321", n, |p| {
+            prob_missing_close(p, "kubernetes/1321", 52, 95, 0, 100)
+        })),
+    });
+
+    // kubernetes/10182 — gated orphan select; ~99.75%.
+    v.push(Microbenchmark {
+        name: "kubernetes/10182",
+        source: Source::GoBench,
+        flakiness: 10,
+        sites: vec!["kubernetes/10182:95"],
+        build: |n| pat::build_with("kubernetes/10182", n, |p| {
+            prob_orphan_select(p, "kubernetes/10182", 95, 78, 100)
+        }),
+        build_fixed: Some(|n| pat::build_with("kubernetes/10182", n, |p| {
+            prob_orphan_select(p, "kubernetes/10182", 95, 0, 100)
+        })),
+    });
+
+    // kubernetes/11298 — gated crossed handshake; ~99.85%.
+    v.push(Microbenchmark {
+        name: "kubernetes/11298",
+        source: Source::GoBench,
+        flakiness: 10,
+        sites: vec!["kubernetes/11298:20", "kubernetes/11298:106"],
+        build: |n| pat::build_with("kubernetes/11298", n, |p| {
+            prob_handshake(p, "kubernetes/11298", 20, 106, 80, 100)
+        }),
+        build_fixed: Some(|n| pat::build_with("kubernetes/11298", n, |p| {
+            prob_handshake(p, "kubernetes/11298", 20, 106, 0, 100)
+        })),
+    });
+
+    // kubernetes/25331 — gated forgotten cancel; ~99%.
+    v.push(Microbenchmark {
+        name: "kubernetes/25331",
+        source: Source::GoBench,
+        flakiness: 10,
+        sites: vec!["kubernetes/25331:79"],
+        build: |n| pat::build_with("kubernetes/25331", n, |p| {
+            prob_ctx_cancel(p, "kubernetes/25331", 79, 70, 100)
+        }),
+        build_fixed: Some(|n| pat::build_with("kubernetes/25331", n, |p| {
+            prob_ctx_cancel(p, "kubernetes/25331", 79, 0, 100)
+        })),
+    });
+
+    // kubernetes/62464 — gated abandoned read lock; ~97.5%.
+    v.push(Microbenchmark {
+        name: "kubernetes/62464",
+        source: Source::GoBench,
+        flakiness: 10,
+        sites: vec!["kubernetes/62464:115", "kubernetes/62464:117"],
+        build: |n| pat::build_with("kubernetes/62464", n, |p| {
+            prob_rwlock(p, "kubernetes/62464", 115, 117, 60, 100)
+        }),
+        build_fixed: Some(|n| pat::build_with("kubernetes/62464", n, |p| {
+            prob_rwlock(p, "kubernetes/62464", 115, 117, 0, 100)
+        })),
+    });
+
+    // moby/27282 — timer race with a wide noisy window (the paper sees a
+    // dip at 2 cores); ~83% overall.
+    v.push(Microbenchmark {
+        name: "moby/27282",
+        source: Source::GoBench,
+        flakiness: 100,
+        sites: vec!["moby/27282:65", "moby/27282:213"],
+        build: |n| pat::build_with("moby/27282", n, |p| {
+            let a = pat::race_timeout_named(p, "moby/27282", "a", 65, 8, 17, false);
+            let c = pat::race_timeout_named(p, "moby/27282", "b", 213, 8, 17, false);
+            let mut b = FuncBuilder::new("scenario", 0);
+            b.call(a, &[], None);
+            b.call(c, &[], None);
+            b.ret(None);
+            p.define(b)
+        }),
+        build_fixed: None,
+    });
+
+    // moby/33781 — gated WaitGroup miscount; ~97%.
+    v.push(Microbenchmark {
+        name: "moby/33781",
+        source: Source::GoBench,
+        flakiness: 10,
+        sites: vec!["moby/33781:39"],
+        build: |n| pat::build_with("moby/33781", n, |p| {
+            prob_wg(p, "moby/33781", 39, 60, 100)
+        }),
+        build_fixed: Some(|n| pat::build_with("moby/33781", n, |p| {
+            prob_wg(p, "moby/33781", 39, 0, 100)
+        })),
+    });
+}

@@ -1,0 +1,1063 @@
+//! Parameterized defect-pattern builders.
+//!
+//! Every microbenchmark in the corpus instantiates one of these families —
+//! the same taxonomy GoBench distills from real bugs in cockroachdb, etcd,
+//! grpc-go, kubernetes, moby, hugo, istio, syncthing and knative-serving:
+//! unconsumed completion channels, double sends, missed closes, abandoned
+//! timeouts, `WaitGroup` miscounts, lock-order inversions, condition
+//! variables without signalers, exhausted channel semaphores, abandoned
+//! pipelines, and the GOLF false-negative shapes (global channels,
+//! runaway-live keepers).
+//!
+//! Builders return the `FuncId` of a zero-argument *scenario* function; the
+//! shared `build_with` harness spawns `n` concurrent scenario instances
+//! from `main`, as the paper's flakiness-amplification methodology (§6.1).
+
+use golf_runtime::{BinOp, FuncBuilder, FuncId, ProgramSet, SelectSpec};
+
+/// Ticks `main` sleeps after spawning all instances, before returning.
+pub(crate) const SETTLE_TICKS: u64 = 600;
+
+/// Assembles the standard microbenchmark `main`: spawn `n` concurrent
+/// instances of `scenario`, let them settle, return. (The harness forces
+/// the final GC, mirroring the artifact's template.)
+pub(crate) fn build_with(
+    name: &str,
+    n: usize,
+    make_scenario: impl FnOnce(&mut ProgramSet) -> FuncId,
+) -> ProgramSet {
+    let mut p = ProgramSet::new();
+    let scenario = make_scenario(&mut p);
+    let inst_site = p.site(format!("{name}:inst"));
+    let mut b = FuncBuilder::new("main", 0);
+    b.repeat(n as i64, |b, _| {
+        b.go(scenario, &[], inst_site);
+    });
+    b.sleep(SETTLE_TICKS);
+    b.ret(None);
+    p.define(b);
+    p
+}
+
+fn site(p: &mut ProgramSet, name: &str, line: u32) -> golf_runtime::SiteId {
+    p.site(format!("{name}:{line}"))
+}
+
+// ---------------------------------------------------------------- family A
+
+/// Unconsumed completion channel (paper Listing 7, the real Uber bug): a
+/// task goroutine sends on `done`, but the caller never receives.
+pub(crate) fn unused_done(p: &mut ProgramSet, name: &str, line: u32, fixed: bool) -> FuncId {
+    let s = site(p, name, line);
+    let mut b = FuncBuilder::new("task", 1);
+    let done = b.param(0);
+    b.sleep(2); // the asynchronous work
+    let v = b.int(1);
+    b.send(done, v);
+    b.ret(None);
+    let task = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let done = b.var("done");
+    b.make_chan(done, 0);
+    b.go(task, &[done], s);
+    if fixed {
+        b.recv(done, None); // the fix: consume the completion
+    }
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family B
+
+/// Double send: the child reports on two channels sequentially; the parent
+/// selects whichever arrives first and returns, stranding the other send.
+pub(crate) fn double_send(p: &mut ProgramSet, name: &str, line: u32, fixed: bool) -> FuncId {
+    let s = site(p, name, line);
+    let mut b = FuncBuilder::new("child", 2);
+    let ch1 = b.param(0);
+    let ch2 = b.param(1);
+    let v = b.int(1);
+    b.send(ch1, v);
+    b.send(ch2, v); // leaks once the parent took ch1 and left
+    b.ret(None);
+    let child = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let ch1 = b.var("ch1");
+    let ch2 = b.var("ch2");
+    // The fix (as in the paper's controlled service): buffered channels
+    // make the second send non-blocking.
+    let cap = usize::from(fixed);
+    b.make_chan(ch1, cap);
+    b.make_chan(ch2, cap);
+    b.go(child, &[ch1, ch2], s);
+    let l1 = b.label();
+    let l2 = b.label();
+    let done = b.label();
+    b.select(SelectSpec::new().recv(ch1, None, l1).recv(ch2, None, l2));
+    b.bind(l1);
+    b.jump(done);
+    b.bind(l2);
+    b.bind(done);
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family C
+
+/// Missed close over ranged channels (paper Listing 3): two goroutines
+/// `range` over manager channels that are only closed by `WaitForResults`,
+/// which the buggy path never calls. Two leaky sites.
+pub(crate) fn missing_close_range(
+    p: &mut ProgramSet,
+    name: &str,
+    l1: u32,
+    l2: u32,
+    fixed: bool,
+) -> FuncId {
+    let ty = p.struct_type("goFuncManager", &["e", "d"]);
+    let s1 = site(p, name, l1);
+    let s2 = site(p, name, l2);
+
+    let mut b = FuncBuilder::new("ranger", 1);
+    let ch = b.param(0);
+    let item = b.var("item");
+    b.range_chan(ch, item, |_| {});
+    b.ret(None);
+    let ranger = p.define(b);
+
+    let mut b = FuncBuilder::new("new_func_manager", 0);
+    let e = b.var("e");
+    let d = b.var("d");
+    let gfm = b.var("gfm");
+    b.make_chan(e, 0);
+    b.make_chan(d, 0);
+    b.new_struct(ty, &[e, d], gfm);
+    b.go(ranger, &[e], s1);
+    b.go(ranger, &[d], s2);
+    b.ret(Some(gfm));
+    let new_fm = p.define(b);
+
+    let mut b = FuncBuilder::new("wait_for_results", 1);
+    let gfm = b.param(0);
+    let ch = b.var("ch");
+    b.get_field(ch, gfm, 0);
+    b.close_chan(ch);
+    b.get_field(ch, gfm, 1);
+    b.close_chan(ch);
+    b.ret(None);
+    let wait = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let gfm = b.var("gfm");
+    b.call(new_fm, &[], Some(gfm));
+    if fixed {
+        b.call(wait, &[gfm], None);
+    }
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family D
+
+/// Abandoned timeout: the worker's result send always loses to the timer,
+/// and the parent returns on the timeout arm, stranding the worker.
+pub(crate) fn timeout_abandon(p: &mut ProgramSet, name: &str, line: u32, fixed: bool) -> FuncId {
+    let s = site(p, name, line);
+    let mut b = FuncBuilder::new("worker", 1);
+    let res = b.param(0);
+    b.sleep(40); // slower than the timeout below
+    let v = b.int(1);
+    b.send(res, v);
+    b.ret(None);
+    let worker = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let res = b.var("res");
+    // The fix from the leak literature: a buffered result channel lets the
+    // late worker complete its send and exit.
+    b.make_chan(res, usize::from(fixed));
+    b.go(worker, &[res], s);
+    let t = b.var("t");
+    b.timer_chan(t, 4);
+    let l_res = b.label();
+    let l_to = b.label();
+    let done = b.label();
+    b.select(SelectSpec::new().recv(res, None, l_res).recv(t, None, l_to));
+    b.bind(l_res);
+    b.jump(done);
+    b.bind(l_to);
+    b.bind(done);
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family E
+
+/// `WaitGroup` miscount: `Add(2)` with a single `Done` parks the waiter
+/// forever.
+pub(crate) fn wg_mismatch(p: &mut ProgramSet, name: &str, line: u32, fixed: bool) -> FuncId {
+    let s = site(p, name, line);
+    let mut b = FuncBuilder::new("waiter", 1);
+    let wg = b.param(0);
+    b.wg_wait(wg);
+    b.ret(None);
+    let waiter = p.define(b);
+
+    let mut b = FuncBuilder::new("doer", 1);
+    let wg = b.param(0);
+    b.sleep(2);
+    b.wg_done(wg);
+    b.ret(None);
+    let doer = p.define(b);
+
+    let inst = p.site(format!("{name}:doer"));
+    let mut b = FuncBuilder::new("scenario", 0);
+    let wg = b.var("wg");
+    b.new_waitgroup(wg);
+    b.wg_add(wg, if fixed { 1 } else { 2 });
+    b.go(doer, &[wg], inst);
+    b.go(waiter, &[wg], s);
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family F
+
+/// Lock-order inversion: two goroutines acquire two mutexes in opposite
+/// orders with a sleep in the window; both deadlock. Two leaky sites.
+pub(crate) fn lock_order(p: &mut ProgramSet, name: &str, l1: u32, l2: u32, fixed: bool) -> FuncId {
+    let s1 = site(p, name, l1);
+    let s2 = site(p, name, l2);
+    let mut b = FuncBuilder::new("locker", 2);
+    let first = b.param(0);
+    let second = b.param(1);
+    b.lock(first);
+    b.sleep(4); // widen the window so the inversion always bites
+    b.lock(second);
+    b.unlock(second);
+    b.unlock(first);
+    b.ret(None);
+    let locker = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let mu1 = b.var("mu1");
+    let mu2 = b.var("mu2");
+    b.new_mutex(mu1);
+    b.new_mutex(mu2);
+    b.go(locker, &[mu1, mu2], s1);
+    if fixed {
+        b.go(locker, &[mu1, mu2], s2); // consistent order: no cycle
+    } else {
+        b.go(locker, &[mu2, mu1], s2);
+    }
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family G
+
+/// Condition variable without a signaler.
+pub(crate) fn cond_no_signal(p: &mut ProgramSet, name: &str, line: u32, fixed: bool) -> FuncId {
+    let s = site(p, name, line);
+    let mut b = FuncBuilder::new("cond_waiter", 2);
+    let mu = b.param(0);
+    let cond = b.param(1);
+    b.lock(mu);
+    b.cond_wait(cond, mu);
+    b.unlock(mu);
+    b.ret(None);
+    let waiter = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let mu = b.var("mu");
+    let cond = b.var("cond");
+    b.new_mutex(mu);
+    b.new_cond(cond);
+    b.go(waiter, &[mu, cond], s);
+    if fixed {
+        b.sleep(6);
+        b.cond_signal(cond);
+        b.sleep(4); // let the waiter relock and finish before we return
+    }
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family H
+
+/// Fan-out without drain: `k` workers send to one channel; the parent
+/// receives a single result (first-wins) and abandons the rest.
+pub(crate) fn fanout_no_drain(
+    p: &mut ProgramSet,
+    name: &str,
+    line: u32,
+    k: i64,
+    fixed: bool,
+) -> FuncId {
+    let s = site(p, name, line);
+    let mut b = FuncBuilder::new("fan_worker", 1);
+    let ch = b.param(0);
+    let v = b.int(1);
+    b.send(ch, v);
+    b.ret(None);
+    let worker = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let ch = b.var("ch");
+    // The standard fix: a buffer as large as the fan-out.
+    b.make_chan(ch, if fixed { k as usize } else { 0 });
+    b.repeat(k, |b, _| {
+        b.go(worker, &[ch], s);
+    });
+    b.recv(ch, None);
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family I
+
+/// Blocking on a nil channel — `B(g) = {ε}`, always detectable.
+pub(crate) fn nil_chan_block(p: &mut ProgramSet, name: &str, line: u32, fixed: bool) -> FuncId {
+    let s = site(p, name, line);
+    let mut b = FuncBuilder::new("nil_worker", 0);
+    if fixed {
+        b.nop();
+    } else {
+        let ch = b.var("ch"); // never assigned: nil
+        b.recv(ch, None);
+    }
+    b.ret(None);
+    let worker = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    b.go(worker, &[], s);
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family J
+
+/// A select whose every channel is abandoned by the parent.
+pub(crate) fn orphan_select(p: &mut ProgramSet, name: &str, line: u32, fixed: bool) -> FuncId {
+    let s = site(p, name, line);
+    let mut b = FuncBuilder::new("selector", 2);
+    let ch1 = b.param(0);
+    let ch2 = b.param(1);
+    let l1 = b.label();
+    let l2 = b.label();
+    b.select(SelectSpec::new().recv(ch1, None, l1).recv(ch2, None, l2));
+    b.bind(l1);
+    b.bind(l2);
+    b.ret(None);
+    let selector = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let ch1 = b.var("ch1");
+    let ch2 = b.var("ch2");
+    b.make_chan(ch1, 0);
+    b.make_chan(ch2, 0);
+    b.go(selector, &[ch1, ch2], s);
+    if fixed {
+        b.close_chan(ch1); // the fix: signal shutdown
+    }
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family K
+
+/// Crossed handshake: two goroutines each wait for the other's first
+/// message. Two leaky sites.
+pub(crate) fn crossed_handshake(
+    p: &mut ProgramSet,
+    name: &str,
+    l1: u32,
+    l2: u32,
+    fixed: bool,
+) -> FuncId {
+    let s1 = site(p, name, l1);
+    let s2 = site(p, name, l2);
+    // left: recv a, then send b.   right: recv b, then send a.
+    let mut b = FuncBuilder::new("left", 2);
+    let a = b.param(0);
+    let bb = b.param(1);
+    let v = b.int(1);
+    b.recv(a, None);
+    b.send(bb, v);
+    b.ret(None);
+    let left = p.define(b);
+
+    let mut b = FuncBuilder::new("right", 2);
+    let a = b.param(0);
+    let bb = b.param(1);
+    let v = b.int(2);
+    if fixed {
+        b.send(a, v); // send first: handshake completes
+        b.recv(bb, None);
+    } else {
+        b.recv(bb, None);
+        b.send(a, v);
+    }
+    b.ret(None);
+    let right = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let a = b.var("a");
+    let bb = b.var("b");
+    b.make_chan(a, 0);
+    b.make_chan(bb, 0);
+    b.go(left, &[a, bb], s1);
+    b.go(right, &[a, bb], s2);
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family L
+
+/// Abandoned read lock: a reader parks on an orphan channel while holding
+/// `RLock`; a writer parks forever on `Lock`. Two leaky sites.
+pub(crate) fn rwlock_abandon(
+    p: &mut ProgramSet,
+    name: &str,
+    l1: u32,
+    l2: u32,
+    fixed: bool,
+) -> FuncId {
+    let s1 = site(p, name, l1);
+    let s2 = site(p, name, l2);
+    let mut b = FuncBuilder::new("reader", 2);
+    let rw = b.param(0);
+    let ch = b.param(1);
+    b.rlock(rw);
+    if !fixed {
+        b.recv(ch, None); // orphan channel: never unblocks
+    }
+    b.runlock(rw);
+    b.ret(None);
+    let reader = p.define(b);
+
+    let mut b = FuncBuilder::new("writer", 1);
+    let rw = b.param(0);
+    b.sleep(4);
+    b.wlock(rw);
+    b.wunlock(rw);
+    b.ret(None);
+    let writer = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let rw = b.var("rw");
+    let ch = b.var("ch");
+    b.new_rwlock(rw);
+    b.make_chan(ch, 0);
+    b.go(reader, &[rw, ch], s1);
+    b.go(writer, &[rw], s2);
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family M
+
+/// Exhausted channel semaphore: slots are acquired (sends into a buffered
+/// channel) but never released, so the k+1-th acquirer parks forever.
+pub(crate) fn semaphore_exhaust(
+    p: &mut ProgramSet,
+    name: &str,
+    line: u32,
+    slots: usize,
+    fixed: bool,
+) -> FuncId {
+    let s = site(p, name, line);
+    let mut b = FuncBuilder::new("acquirer", 1);
+    let sem = b.param(0);
+    let v = b.int(1);
+    b.send(sem, v); // acquire
+    if fixed {
+        b.recv(sem, None); // release (the fix)
+    }
+    b.ret(None);
+    let acquirer = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let sem = b.var("sem");
+    b.make_chan(sem, slots);
+    b.repeat(slots as i64 + 1, |b, _| {
+        b.go(acquirer, &[sem], s);
+    });
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family N
+
+/// Abandoned pipeline: the producer forgets to close stage one, stranding
+/// both downstream stages in their range loops. Two leaky sites.
+pub(crate) fn pipeline_abandon(
+    p: &mut ProgramSet,
+    name: &str,
+    l1: u32,
+    l2: u32,
+    fixed: bool,
+) -> FuncId {
+    let s1 = site(p, name, l1);
+    let s2 = site(p, name, l2);
+    let mut b = FuncBuilder::new("stage2", 2);
+    let input = b.param(0);
+    let output = b.param(1);
+    let item = b.var("item");
+    b.range_chan(input, item, |b| {
+        b.send(output, item);
+    });
+    b.close_chan(output);
+    b.ret(None);
+    let stage2 = p.define(b);
+
+    let mut b = FuncBuilder::new("stage3", 1);
+    let input = b.param(0);
+    let item = b.var("item");
+    b.range_chan(input, item, |_| {});
+    b.ret(None);
+    let stage3 = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let ch1 = b.var("ch1");
+    let ch2 = b.var("ch2");
+    b.make_chan(ch1, 0);
+    b.make_chan(ch2, 0);
+    b.go(stage2, &[ch1, ch2], s1);
+    b.go(stage3, &[ch2], s2);
+    let v = b.int(7);
+    b.send(ch1, v);
+    if fixed {
+        b.close_chan(ch1); // the fix: shut the pipeline down
+    }
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family O
+
+/// Forgotten cancellation: a worker selects on `{done, work}` and both are
+/// dropped by the parent (the `context.WithCancel`-without-`cancel` shape).
+pub(crate) fn ctx_cancel_forgotten(
+    p: &mut ProgramSet,
+    name: &str,
+    line: u32,
+    fixed: bool,
+) -> FuncId {
+    let s = site(p, name, line);
+    let mut b = FuncBuilder::new("ctx_worker", 2);
+    let done = b.param(0);
+    let work = b.param(1);
+    let l_done = b.label();
+    let l_work = b.label();
+    let top = b.label();
+    b.bind(top);
+    b.select(SelectSpec::new().recv(done, None, l_done).recv(work, None, l_work));
+    b.bind(l_work);
+    b.jump(top);
+    b.bind(l_done);
+    b.ret(None);
+    let worker = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let done = b.var("done");
+    let work = b.var("work");
+    b.make_chan(done, 0);
+    b.make_chan(work, 1);
+    b.go(worker, &[done, work], s);
+    let v = b.int(1);
+    b.send(work, v);
+    if fixed {
+        b.close_chan(done); // defer cancel()
+    }
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family P
+
+/// Forgotten unlock on an error path: the first locker returns without
+/// unlocking, the second parks forever.
+pub(crate) fn forgotten_unlock(p: &mut ProgramSet, name: &str, line: u32, fixed: bool) -> FuncId {
+    let s = site(p, name, line);
+    let erred = p.site(format!("{name}:errpath"));
+    let mut b = FuncBuilder::new("first", 1);
+    let mu = b.param(0);
+    b.lock(mu);
+    if fixed {
+        b.unlock(mu); // defer mu.Unlock()
+    }
+    b.ret(None); // "error" return
+    let first = p.define(b);
+
+    let mut b = FuncBuilder::new("second", 1);
+    let mu = b.param(0);
+    b.sleep(4);
+    b.lock(mu);
+    b.unlock(mu);
+    b.ret(None);
+    let second = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let mu = b.var("mu");
+    b.new_mutex(mu);
+    b.go(first, &[mu], erred);
+    b.go(second, &[mu], s);
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family Q
+
+/// Broken barrier: one of the counted parties blocks on an orphan channel
+/// before its `Done`, stranding the `Wait`er too. Two leaky sites.
+pub(crate) fn broken_barrier(
+    p: &mut ProgramSet,
+    name: &str,
+    l1: u32,
+    l2: u32,
+    fixed: bool,
+) -> FuncId {
+    let s_wait = site(p, name, l1);
+    let s_strag = site(p, name, l2);
+    let ok_site = p.site(format!("{name}:doer"));
+
+    let mut b = FuncBuilder::new("bar_waiter", 1);
+    let wg = b.param(0);
+    b.wg_wait(wg);
+    b.ret(None);
+    let waiter = p.define(b);
+
+    let mut b = FuncBuilder::new("bar_doer", 1);
+    let wg = b.param(0);
+    b.sleep(2);
+    b.wg_done(wg);
+    b.ret(None);
+    let doer = p.define(b);
+
+    let mut b = FuncBuilder::new("bar_straggler", 2);
+    let wg = b.param(0);
+    let ch = b.param(1);
+    if !fixed {
+        b.recv(ch, None); // parks forever before Done
+    }
+    b.wg_done(wg);
+    b.ret(None);
+    let straggler = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let wg = b.var("wg");
+    let ch = b.var("ch");
+    b.new_waitgroup(wg);
+    b.make_chan(ch, 0);
+    b.wg_add(wg, 2);
+    b.go(doer, &[wg], ok_site);
+    b.go(straggler, &[wg, ch], s_strag);
+    b.go(waiter, &[wg], s_wait);
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family R
+
+/// Request/response with a dropped response: the server answers a request
+/// whose client has left; the next client's request is never served.
+/// Two leaky sites.
+pub(crate) fn request_response_drop(
+    p: &mut ProgramSet,
+    name: &str,
+    l1: u32,
+    l2: u32,
+    fixed: bool,
+) -> FuncId {
+    let s_server = site(p, name, l1);
+    let s_client = site(p, name, l2);
+
+    // server: for req := range reqs { resp <- 1 }  (one resp chan, unbuffered)
+    let mut b = FuncBuilder::new("server", 2);
+    let reqs = b.param(0);
+    let resp = b.param(1);
+    let item = b.var("item");
+    let v = b.int(1);
+    b.range_chan(reqs, item, |b| {
+        b.send(resp, v);
+    });
+    b.ret(None);
+    let server = p.define(b);
+
+    // client2: a late request that the stuck server never receives.
+    let mut b = FuncBuilder::new("client2", 1);
+    let reqs = b.param(0);
+    let v = b.int(2);
+    b.sleep(6);
+    b.send(reqs, v);
+    b.ret(None);
+    let client2 = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let reqs = b.var("reqs");
+    let resp = b.var("resp");
+    b.make_chan(reqs, 0);
+    // The fix: buffered responses survive an impatient client.
+    b.make_chan(resp, usize::from(fixed));
+    b.go(server, &[reqs, resp], s_server);
+    b.go(client2, &[reqs], s_client);
+    let v = b.int(1);
+    b.send(reqs, v); // first request…
+    b.ret(None); // …but the scenario leaves without reading resp
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family S
+
+/// Missed broadcast: the signaler broadcasts before the waiter waits.
+pub(crate) fn missed_broadcast(p: &mut ProgramSet, name: &str, line: u32, fixed: bool) -> FuncId {
+    let s = site(p, name, line);
+    let sig_site = p.site(format!("{name}:signaler"));
+
+    let mut b = FuncBuilder::new("late_waiter", 2);
+    let mu = b.param(0);
+    let cond = b.param(1);
+    b.sleep(6); // arrives after the broadcast
+    b.lock(mu);
+    b.cond_wait(cond, mu);
+    b.unlock(mu);
+    b.ret(None);
+    let waiter = p.define(b);
+
+    let mut b = FuncBuilder::new("signaler", 2);
+    let mu = b.param(0);
+    let cond = b.param(1);
+    if fixed {
+        b.sleep(12); // signal after the waiter is parked
+    }
+    b.lock(mu);
+    b.cond_broadcast(cond);
+    b.unlock(mu);
+    b.ret(None);
+    let signaler = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let mu = b.var("mu");
+    let cond = b.var("cond");
+    b.new_mutex(mu);
+    b.new_cond(cond);
+    b.go(signaler, &[mu, cond], sig_site);
+    b.go(waiter, &[mu, cond], s);
+    if fixed {
+        b.sleep(20); // let the handshake complete
+    }
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family T
+
+/// Stopped-service ticker: a worker consumes one tick then waits on a stop
+/// channel that nobody will ever write (the service was dropped).
+pub(crate) fn ticker_stop_leak(p: &mut ProgramSet, name: &str, line: u32, fixed: bool) -> FuncId {
+    let s = site(p, name, line);
+    let mut b = FuncBuilder::new("tick_worker", 2);
+    let tick = b.param(0);
+    let stop = b.param(1);
+    b.recv(tick, None);
+    if !fixed {
+        b.recv(stop, None);
+    }
+    b.ret(None);
+    let worker = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let tick = b.var("tick");
+    let stop = b.var("stop");
+    b.timer_chan(tick, 2);
+    b.make_chan(stop, 0);
+    b.go(worker, &[tick, stop], s);
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family U
+
+/// Triple-source fan-in: three differently-shaped producers feed one
+/// result channel, and the collecting path is skipped entirely on an
+/// early-return, stranding all three. Three leaky sites.
+pub(crate) fn triple_fan_in(
+    p: &mut ProgramSet,
+    name: &str,
+    l1: u32,
+    l2: u32,
+    l3: u32,
+    fixed: bool,
+) -> FuncId {
+    let s1 = site(p, name, l1);
+    let s2 = site(p, name, l2);
+    let s3 = site(p, name, l3);
+
+    let mut b = FuncBuilder::new("src_plain", 1);
+    let res = b.param(0);
+    let v = b.int(1);
+    b.send(res, v);
+    b.ret(None);
+    let plain = p.define(b);
+
+    let mut b = FuncBuilder::new("src_slow", 1);
+    let res = b.param(0);
+    let v = b.int(2);
+    b.sleep(5);
+    b.send(res, v);
+    b.ret(None);
+    let slow = p.define(b);
+
+    let mut b = FuncBuilder::new("src_worked", 1);
+    let res = b.param(0);
+    let acc = b.int(0);
+    let one = b.int(1);
+    b.repeat(3, |b, _| {
+        b.bin(BinOp::Add, acc, acc, one);
+        b.yield_now();
+    });
+    b.send(res, acc);
+    b.ret(None);
+    let worked = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let res = b.var("res");
+    b.make_chan(res, 0);
+    b.go(plain, &[res], s1);
+    b.go(slow, &[res], s2);
+    b.go(worked, &[res], s3);
+    if fixed {
+        b.repeat(3, |b, _| b.recv(res, None));
+    }
+    // Buggy path: "if err != nil { return }" before the collection loop.
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family V
+
+/// Task plus cleanup pair: the task's completion send and the janitor's
+/// shutdown receive are both forgotten by the caller. Two leaky sites.
+pub(crate) fn task_plus_cleanup(
+    p: &mut ProgramSet,
+    name: &str,
+    l1: u32,
+    l2: u32,
+    fixed: bool,
+) -> FuncId {
+    let s1 = site(p, name, l1);
+    let s2 = site(p, name, l2);
+
+    let mut b = FuncBuilder::new("tpc_task", 1);
+    let done = b.param(0);
+    let v = b.int(1);
+    b.sleep(2);
+    b.send(done, v);
+    b.ret(None);
+    let task = p.define(b);
+
+    let mut b = FuncBuilder::new("tpc_janitor", 1);
+    let quit = b.param(0);
+    b.recv(quit, None);
+    b.ret(None);
+    let janitor = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let done = b.var("done");
+    let quit = b.var("quit");
+    b.make_chan(done, 0);
+    b.make_chan(quit, 0);
+    b.go(task, &[done], s1);
+    b.go(janitor, &[quit], s2);
+    if fixed {
+        b.recv(done, None);
+        b.close_chan(quit);
+    }
+    b.ret(None);
+    p.define(b)
+}
+
+// ---------------------------------------------------------------- family W
+
+/// WaitGroup + channel mix: a counted worker parks on an orphan channel,
+/// so both it and the `Wait`er leak. Two leaky sites.
+pub(crate) fn wg_chan_mix(p: &mut ProgramSet, name: &str, l1: u32, l2: u32, fixed: bool) -> FuncId {
+    let s_wait = site(p, name, l1);
+    let s_work = site(p, name, l2);
+
+    let mut b = FuncBuilder::new("wgc_waiter", 1);
+    let wg = b.param(0);
+    b.wg_wait(wg);
+    b.ret(None);
+    let waiter = p.define(b);
+
+    let mut b = FuncBuilder::new("wgc_worker", 2);
+    let wg = b.param(0);
+    let ch = b.param(1);
+    if !fixed {
+        b.recv(ch, None);
+    }
+    b.wg_done(wg);
+    b.ret(None);
+    let worker = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let wg = b.var("wg");
+    let ch = b.var("ch");
+    b.new_waitgroup(wg);
+    b.make_chan(ch, 0);
+    b.wg_add(wg, 1);
+    b.go(worker, &[wg, ch], s_work);
+    b.go(waiter, &[wg], s_wait);
+    b.ret(None);
+    p.define(b)
+}
+
+// --------------------------------------------------- flaky mechanisms
+
+/// Timing race: the worker performs `work_slots` cooperative slots of work
+/// before sending its result; the parent waits `timeout` ticks. With
+/// `leak_when_fast`, the leak manifests when the worker *beats* the timer
+/// (the parent's fast path forgets the completion channel); otherwise the
+/// leak manifests when the timer wins (the parent abandons the result
+/// channel). Whether the worker is fast depends on scheduler contention:
+/// instances × `GOMAXPROCS` — this is how core count changes detection
+/// rates in Table 1.
+pub(crate) fn race_timeout_named(
+    p: &mut ProgramSet,
+    name: &str,
+    prefix: &str,
+    line: u32,
+    work_slots: i64,
+    timeout: u64,
+    leak_when_fast: bool,
+) -> FuncId {
+    let s = site(p, name, line);
+
+    // worker(res, done): work; res <- 1; done <- 1
+    let mut b = FuncBuilder::new(format!("{prefix}.worker"), 2);
+    let res = b.param(0);
+    let done = b.param(1);
+    b.repeat(work_slots, |b, _| b.yield_now());
+    let v = b.int(1);
+    b.send(res, v);
+    b.send(done, v);
+    b.ret(None);
+    let worker = p.define(b);
+
+    let mut b = FuncBuilder::new(format!("{prefix}.sub"), 0);
+    let res = b.var("res");
+    let done = b.var("done");
+    b.make_chan(res, 0);
+    b.make_chan(done, 0);
+    b.go(worker, &[res, done], s);
+    let t = b.var("t");
+    b.timer_chan(t, timeout);
+    let l_res = b.label();
+    let l_to = b.label();
+    let fin = b.label();
+    b.select(SelectSpec::new().recv(res, None, l_res).recv(t, None, l_to));
+    b.bind(l_res);
+    if leak_when_fast {
+        // Fast path: parent takes the result and forgets `done`.
+        b.jump(fin);
+    } else {
+        // Result arrived in time: drain `done` too — no leak.
+        b.recv(done, None);
+        b.jump(fin);
+    }
+    b.bind(l_to);
+    if leak_when_fast {
+        // Timeout path is the careful one: drain both.
+        b.recv(res, None);
+        b.recv(done, None);
+    }
+    // (!leak_when_fast): timeout path abandons res & done — worker leaks.
+    b.bind(fin);
+    b.ret(None);
+    p.define(b)
+}
+
+/// The etcd/7443 shape: leaked goroutines stay reachable through a
+/// runaway-live keeper unless a cancel message wins a narrow startup race
+/// — GOLF detects almost nothing (paper Table 1 shows 0–3%).
+///
+/// `k` goroutines park on channels stored in a registry struct; a keeper
+/// goroutine holds the registry and loops forever (sleep-live) unless it
+/// receives `stop` before its startup timer fires. The canceller only
+/// manages that when it is scheduled quickly — more virtual cores make
+/// that slightly more likely.
+pub(crate) fn keeper_shielded(
+    p: &mut ProgramSet,
+    name: &str,
+    lines: &[u32],
+    startup: u64,
+    cancel_delay: u64,
+) -> FuncId {
+    let sites: Vec<_> = lines.iter().map(|l| site(p, name, *l)).collect();
+    let keeper_site = p.site(format!("{name}:keeper"));
+    let cancel_site = p.site(format!("{name}:cancel"));
+    let reg_ty_fields: Vec<String> = (0..lines.len()).map(|i| format!("ch{i}")).collect();
+    let reg_fields: Vec<&str> = reg_ty_fields.iter().map(String::as_str).collect();
+    let reg_ty = p.struct_type("registry", &reg_fields);
+
+    // blocked worker: recv on its channel, forever.
+    let mut b = FuncBuilder::new("shielded_worker", 1);
+    let ch = b.param(0);
+    b.recv(ch, None);
+    b.ret(None);
+    let worker = p.define(b);
+
+    // keeper(reg, stop): select { <-stop: return; <-timer(startup): loop forever }
+    let mut b = FuncBuilder::new("keeper", 2);
+    let _reg = b.param(0); // holding the registry is what shields the workers
+    let stop = b.param(1);
+    let t = b.var("t");
+    b.timer_chan(t, startup);
+    let l_stop = b.label();
+    let l_up = b.label();
+    b.select(SelectSpec::new().recv(stop, None, l_stop).recv(t, None, l_up));
+    b.bind(l_up);
+    b.forever(|b| b.sleep(50)); // runaway-live heartbeat
+    b.bind(l_stop);
+    b.ret(None);
+    let keeper = p.define(b);
+
+    // canceller(stop): performs `cancel_delay` cooperative slots of work,
+    // then tries one non-blocking stop send. It only lands while the keeper
+    // is still parked at its startup select — under contention the work
+    // takes too long and the keeper's timer wins, so the cancel is dropped.
+    // Only highly parallel schedules squeeze the work in on time, which is
+    // why detections appear almost exclusively at high GOMAXPROCS.
+    let mut b = FuncBuilder::new("canceller", 1);
+    let stop = b.param(0);
+    b.repeat(cancel_delay as i64, |b, _| b.yield_now());
+    let v = b.int(1);
+    let l_sent = b.label();
+    let l_miss = b.label();
+    b.select(SelectSpec::new().send(stop, v, l_sent).default_case(l_miss));
+    b.bind(l_sent);
+    b.bind(l_miss);
+    b.ret(None);
+    let canceller = p.define(b);
+
+    let mut b = FuncBuilder::new("scenario", 0);
+    let chans: Vec<_> = (0..lines.len()).map(|i| b.var(&format!("ch{i}"))).collect();
+    for &ch in &chans {
+        b.make_chan(ch, 0);
+    }
+    let reg = b.var("reg");
+    b.new_struct(reg_ty, &chans, reg);
+    for (i, &ch) in chans.iter().enumerate() {
+        b.go(worker, &[ch], sites[i]);
+    }
+    let stop = b.var("stop");
+    b.make_chan(stop, 0);
+    b.go(keeper, &[reg, stop], keeper_site);
+    b.go(canceller, &[stop], cancel_site);
+    b.ret(None);
+    p.define(b)
+}

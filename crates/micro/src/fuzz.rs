@@ -1,0 +1,173 @@
+//! GFuzz × GOLF — the paper's §7 future-work combination: *"It may be
+//! interesting in future work to combine the fuzzing approach of GFuzz with
+//! the GC-based deadlock detection of GOLF."*
+//!
+//! GFuzz (Liu et al., ASPLOS'22) exposes latent leaks by *reordering select
+//! case priorities*, forcing tests down rarely-taken message orderings. The
+//! GoVM supports the same forcing through
+//! [`VmConfig::select_fuzz`](golf_runtime::VmConfig): each `select` site
+//! deterministically prefers one of its ready cases, derived from the site
+//! and the fuzz seed. This module sweeps fuzz seeds, runs GOLF on each
+//! execution, and unions the detections — systematic exploration replacing
+//! uniform luck.
+
+use crate::corpus::Microbenchmark;
+use crate::harness::{instances_for, RunSettings};
+use golf_core::Session;
+use golf_runtime::{PanicPolicy, Vm, VmConfig};
+use std::collections::BTreeSet;
+
+/// Outcome of a fuzzing sweep.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Union of detected sites across every fuzz seed.
+    pub detected_sites: BTreeSet<String>,
+    /// Per-seed detection counts (index = fuzz seed order).
+    pub per_seed: Vec<usize>,
+    /// Runs whose detections added a site the union did not yet have.
+    pub productive_seeds: usize,
+}
+
+/// Runs `mb` once per fuzz seed, with GOLF detection, and unions the
+/// reported spawn sites.
+pub fn fuzz_benchmark(
+    mb: &Microbenchmark,
+    fuzz_seeds: &[u64],
+    settings: &RunSettings,
+) -> FuzzOutcome {
+    let n = instances_for(mb.flakiness, settings.max_instances);
+    let mut detected_sites: BTreeSet<String> = BTreeSet::new();
+    let mut per_seed = Vec::new();
+    let mut productive = 0;
+    for &fuzz in fuzz_seeds {
+        let vm = Vm::boot(
+            (mb.build)(n),
+            VmConfig {
+                gomaxprocs: settings.procs,
+                seed: settings.seed,
+                panic_policy: PanicPolicy::KillGoroutine,
+                select_fuzz: Some(fuzz),
+                ..VmConfig::default()
+            },
+        );
+        let mut session = Session::golf(vm);
+        session.run(settings.tick_budget);
+        session.collect();
+        let before = detected_sites.len();
+        let mut count = 0;
+        for r in session.reports() {
+            if let Some(site) = &r.spawn_site {
+                if mb.sites.contains(&site.as_str()) {
+                    detected_sites.insert(site.clone());
+                    count += 1;
+                }
+            }
+        }
+        per_seed.push(count);
+        if detected_sites.len() > before {
+            productive += 1;
+        }
+    }
+    FuzzOutcome { detected_sites, per_seed, productive_seeds: productive }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::Source;
+    use golf_runtime::{FuncBuilder, ProgramSet, SelectSpec};
+
+    /// A bug that manifests only when the select prefers one specific case:
+    /// the handler selects over four wait channels; picking channel 0 takes
+    /// the path that forgets the worker's completion channel.
+    fn order_sensitive(n: usize) -> ProgramSet {
+        crate::corpus::patterns::build_with("fuzz/order-sensitive", n, |p| {
+            let site = p.site("fuzz/order-sensitive:13");
+            let feeder_site = p.site("fuzz/order-sensitive:feeder");
+
+            let mut b = FuncBuilder::new("task", 1);
+            let done = b.param(0);
+            let v = b.int(1);
+            b.send(done, v);
+            b.ret(None);
+            let task = p.define(b);
+
+            // feeder(chs…): make all four selectable at once.
+            let mut b = FuncBuilder::new("feeder", 4);
+            let v = b.int(1);
+            for i in 0..4 {
+                b.send(b.param(i), v);
+            }
+            b.ret(None);
+            let feeder = p.define(b);
+
+            let mut b = FuncBuilder::new("scenario", 0);
+            let chs: Vec<_> = (0..4).map(|i| b.var(&format!("c{i}"))).collect();
+            for &ch in &chs {
+                b.make_chan(ch, 1); // buffered: the feeder never blocks
+            }
+            b.go(feeder, &chs, feeder_site);
+            b.sleep(5); // all four cases ready
+            let done = b.var("done");
+            b.make_chan(done, 0);
+            b.go(task, &[done], site);
+            let arms: Vec<_> = (0..4).map(|_| b.label()).collect();
+            let fin = b.label();
+            let mut spec = SelectSpec::new();
+            for (i, &l) in arms.iter().enumerate() {
+                spec = spec.recv(chs[i], None, l);
+            }
+            b.select(spec);
+            // Arm 0 is the buggy path: early return without draining `done`.
+            b.bind(arms[0]);
+            b.clear(done);
+            b.ret(None);
+            // Every other arm is careful.
+            for &l in &arms[1..] {
+                b.bind(l);
+                b.jump(fin);
+            }
+            b.bind(fin);
+            b.recv(done, None);
+            b.ret(None);
+            p.define(b)
+        })
+    }
+
+    #[test]
+    fn fuzzing_explores_the_order_sensitive_leak() {
+        let mb = Microbenchmark {
+            name: "fuzz/order-sensitive",
+            source: Source::CgoPaper,
+            flakiness: 1,
+            sites: vec!["fuzz/order-sensitive:13"],
+            build: |n| order_sensitive(n),
+            build_fixed: None,
+        };
+        let settings = RunSettings { procs: 1, seed: 7, ..RunSettings::default() };
+
+        // Sweep eight fuzz seeds: the forced orderings must cover the buggy
+        // arm at least once, and the non-buggy orderings must stay clean.
+        let outcome = fuzz_benchmark(&mb, &(0..8).collect::<Vec<u64>>(), &settings);
+        assert!(
+            outcome.detected_sites.contains("fuzz/order-sensitive:13"),
+            "{outcome:?}"
+        );
+        assert!(
+            outcome.per_seed.contains(&0),
+            "some orderings avoid the leak: {outcome:?}"
+        );
+        assert!(outcome.productive_seeds >= 1);
+    }
+
+    #[test]
+    fn fuzz_runs_are_deterministic() {
+        let mb_all = crate::corpus();
+        let mb = mb_all.iter().find(|b| b.name == "cgo/double-send").unwrap();
+        let settings = RunSettings { procs: 2, seed: 3, ..RunSettings::default() };
+        let a = fuzz_benchmark(mb, &[1, 2, 3], &settings);
+        let b = fuzz_benchmark(mb, &[1, 2, 3], &settings);
+        assert_eq!(a.per_seed, b.per_seed);
+        assert_eq!(a.detected_sites, b.detected_sites);
+    }
+}

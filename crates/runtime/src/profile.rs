@@ -1,0 +1,58 @@
+//! Goroutine profiling — the data source for LEAKPROF-style detectors and
+//! for blocked-goroutine time series (paper Figure 1).
+
+use crate::goroutine::{GStatus, WaitReason};
+use crate::vm::Vm;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One aggregated profile bucket: all goroutines parked at the same source
+/// location for the same reason.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileEntry {
+    /// `func:pc` of the blocking operation (pc of the instruction itself).
+    pub location: String,
+    /// Why they are parked.
+    pub wait_reason: WaitReason,
+    /// Label of the `go` statement that created them, when known.
+    pub spawn_site: Option<String>,
+    /// Number of goroutines in this bucket.
+    pub count: usize,
+}
+
+impl Vm {
+    /// A goroutine profile: blocked user goroutines bucketed by
+    /// `(location, wait reason, spawn site)`, like `pprof`'s goroutine
+    /// profile that LEAKPROF consumes.
+    pub fn goroutine_profile(&self) -> Vec<ProfileEntry> {
+        let mut buckets: HashMap<(String, WaitReason, Option<String>), usize> = HashMap::new();
+        for g in self.live_goroutines() {
+            let GStatus::Waiting(reason) = g.status else { continue };
+            if g.internal {
+                continue;
+            }
+            let Some(frame) = g.frames.last() else { continue };
+            // The pc was advanced past the blocking instruction when parking.
+            let loc = self.program.describe_loc(frame.func, frame.pc.saturating_sub(1));
+            let site = g.spawn_site.map(|s| self.program.site_info(s).label.clone());
+            *buckets.entry((loc, reason, site)).or_insert(0) += 1;
+        }
+        let mut entries: Vec<ProfileEntry> = buckets
+            .into_iter()
+            .map(|((location, wait_reason, spawn_site), count)| ProfileEntry {
+                location,
+                wait_reason,
+                spawn_site,
+                count,
+            })
+            .collect();
+        entries.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.location.cmp(&b.location)));
+        entries
+    }
+
+    /// Number of user goroutines currently blocked at deadlock-eligible
+    /// operations (the y-axis of the paper's Figure 1).
+    pub fn blocked_count(&self) -> usize {
+        self.live_goroutines().filter(|g| g.deadlock_candidate()).count()
+    }
+}

@@ -1,0 +1,141 @@
+//! The cooperative scheduler: `GOMAXPROCS` virtual cores, randomized
+//! quanta, timers and sleep handling, and global-deadlock detection.
+
+use crate::goroutine::{GStatus, Gid, WaitReason};
+use crate::vm::{Exec, RunOutcome, RunStatus, TickStatus, Vm};
+use rand::Rng;
+
+impl Vm {
+    /// Pops the next valid runnable goroutine from the run queue.
+    fn next_runnable(&mut self) -> Option<Gid> {
+        // Occasionally promote a random near-front entry, modeling OS-level
+        // scheduling jitter deterministically from the seed.
+        if self.run_queue.len() > 1 && self.rng.gen_ratio(1, 4) {
+            let k = self.rng.gen_range(0..self.run_queue.len().min(4));
+            self.run_queue.swap(0, k);
+        }
+        while let Some(gid) = self.run_queue.pop_front() {
+            let idx = gid.index() as usize;
+            self.queued[idx] = false;
+            let g = &self.goroutines[idx];
+            if g.id == gid && g.status == GStatus::Runnable {
+                return Some(gid);
+            }
+        }
+        None
+    }
+
+    /// Runs one scheduler round: fire due timers, wake due sleepers, then
+    /// let up to `gomaxprocs` goroutines execute a randomized quantum each.
+    pub fn step_tick(&mut self) -> TickStatus {
+        if self.fatal.is_some() {
+            return TickStatus::Panicked;
+        }
+        if self.main_done {
+            return TickStatus::MainDone;
+        }
+        self.tick += 1;
+
+        // Fire due timers (the runtime drops its channel reference here).
+        let mut due = Vec::new();
+        self.timers.retain(|t| {
+            if t.fire_tick <= self.tick {
+                due.push(t.ch);
+                false
+            } else {
+                true
+            }
+        });
+        for ch in due {
+            self.timer_fire(ch);
+        }
+
+        // Wake due sleepers.
+        let now = self.tick;
+        let to_wake: Vec<(Gid, u64)> = self
+            .goroutines
+            .iter()
+            .filter(|g| {
+                g.status == GStatus::Waiting(WaitReason::Sleep)
+                    && g.wake_tick.is_some_and(|t| t <= now)
+            })
+            .map(|g| (g.id, g.wait_token))
+            .collect();
+        for (gid, token) in to_wake {
+            self.wake(gid, token);
+        }
+
+        // Schedule up to P goroutines.
+        let p = self.config.gomaxprocs.max(1);
+        let mut scheduled = 0;
+        for _ in 0..p {
+            let Some(gid) = self.next_runnable() else { break };
+            scheduled += 1;
+            let quantum = self.rng.gen_range(1..=self.config.max_quantum.max(1));
+            for _ in 0..quantum {
+                match self.exec_one(gid) {
+                    Exec::Continue => {
+                        if self.fatal.is_some() {
+                            return TickStatus::Panicked;
+                        }
+                    }
+                    Exec::Parked | Exec::Finished | Exec::Yielded => break,
+                }
+                if self.fatal.is_some() {
+                    return TickStatus::Panicked;
+                }
+            }
+            // Requeue if still runnable after its quantum.
+            let idx = gid.index() as usize;
+            let g = &self.goroutines[idx];
+            if g.id == gid && g.status == GStatus::Runnable && !self.queued[idx] {
+                self.queued[idx] = true;
+                self.run_queue.push_back(gid);
+            }
+        }
+
+        if self.fatal.is_some() {
+            return TickStatus::Panicked;
+        }
+        if self.main_done {
+            return TickStatus::MainDone;
+        }
+        if scheduled == 0 {
+            let time_can_pass = !self.timers.is_empty()
+                || self
+                    .goroutines
+                    .iter()
+                    .any(|g| g.status == GStatus::Waiting(WaitReason::Sleep));
+            if !time_can_pass {
+                // fatal error: all goroutines are asleep - deadlock!
+                return TickStatus::GlobalDeadlock;
+            }
+        }
+        TickStatus::Progress
+    }
+
+    /// Runs until the main goroutine returns, the program globally
+    /// deadlocks, a fatal panic occurs, or `max_ticks` elapse.
+    ///
+    /// Garbage collection does **not** run here — pair the VM with
+    /// `golf_core::Session` for collected execution.
+    pub fn run(&mut self, max_ticks: u64) -> RunOutcome {
+        let start = self.tick;
+        loop {
+            match self.step_tick() {
+                TickStatus::Progress => {
+                    if self.tick - start >= max_ticks {
+                        return self.outcome(RunStatus::TickLimit);
+                    }
+                }
+                TickStatus::MainDone => return self.outcome(RunStatus::MainDone),
+                TickStatus::GlobalDeadlock => return self.outcome(RunStatus::GlobalDeadlock),
+                TickStatus::Panicked => return self.outcome(RunStatus::Panicked),
+            }
+        }
+    }
+
+    fn outcome(&self, status: RunStatus) -> RunOutcome {
+        RunOutcome { status, ticks: self.tick, instrs: self.instrs }
+    }
+}

@@ -1,0 +1,245 @@
+//! Prebuilt library functions for guest programs — a miniature analogue of
+//! the Go standard-library pieces that real leak patterns revolve around.
+//!
+//! The CGO'24 study behind this paper found `context`-style cancellation
+//! plumbing to be the dominant source of goroutine leaks. This module
+//! installs a `context` package into a [`ProgramSet`]: a context is a
+//! struct carrying a `done` channel; `with_cancel` returns a child context
+//! plus a cancel function; `with_timeout` wires the cancellation to a
+//! runtime timer. Guest code selects on `ctx.done` exactly like Go code
+//! selects on `ctx.Done()` — and forgets to call `cancel` exactly as
+//! profitably.
+//!
+//! # Example
+//!
+//! ```
+//! use golf_runtime::{stdlib::ContextLib, FuncBuilder, ProgramSet, SelectSpec, Vm, VmConfig, RunStatus};
+//!
+//! let mut p = ProgramSet::new();
+//! let ctx_lib = ContextLib::install(&mut p);
+//! let site = p.site("main:worker");
+//!
+//! // worker(ctx): select { <-ctx.Done(): return }
+//! let mut b = FuncBuilder::new("worker", 1);
+//! let ctx = b.param(0);
+//! let done = b.var("done");
+//! ctx_lib.done(&mut b, done, ctx);
+//! b.recv(done, None);
+//! b.ret(None);
+//! let worker = p.define(b);
+//!
+//! // main: ctx, cancel := context.WithCancel(); go worker(ctx); cancel()
+//! let mut b = FuncBuilder::new("main", 0);
+//! let ctx = b.var("ctx");
+//! ctx_lib.background(&mut b, ctx);
+//! let child = b.var("child");
+//! ctx_lib.with_cancel(&mut b, child, ctx);
+//! b.go(worker, &[child], site);
+//! b.sleep(10);
+//! ctx_lib.cancel(&mut b, child);
+//! b.sleep(10);
+//! b.ret(None);
+//! p.define(b);
+//!
+//! let mut vm = Vm::boot(p, VmConfig::default());
+//! assert_eq!(vm.run(10_000).status, RunStatus::MainDone);
+//! assert_eq!(vm.live_count(), 0, "cancel released the worker");
+//! ```
+
+use crate::builder::FuncBuilder;
+use crate::func::ProgramSet;
+use crate::object::TypeId;
+use crate::value::Var;
+
+/// The installed `context` package: type ids and emit helpers.
+///
+/// A context is a struct `{ done: chan, cancelled: cell }`. The background
+/// context's `done` channel is never closed; `with_cancel` creates a fresh
+/// `done`; `cancel` closes it idempotently (the `cancelled` cell guards the
+/// double close, like Go's `cancelCtx` — calling cancel twice is legal).
+#[derive(Debug, Clone, Copy)]
+pub struct ContextLib {
+    ty: TypeId,
+}
+
+impl ContextLib {
+    /// Registers the context type with a program.
+    pub fn install(p: &mut ProgramSet) -> Self {
+        let ty = p.struct_type("context.Context", &["done", "cancelled"]);
+        ContextLib { ty }
+    }
+
+    /// Emits `dst = context.Background()` — a never-cancelled root context.
+    pub fn background(&self, b: &mut FuncBuilder, dst: Var) {
+        let done = b.var("ctx.done");
+        b.make_chan(done, 0);
+        let cancelled = b.var("ctx.cancelled");
+        let zero = b.int(0);
+        b.new_cell(cancelled, zero);
+        b.new_struct(self.ty, &[done, cancelled], dst);
+        // The construction temporaries go out of scope here; leaving them
+        // set would keep the done channel reachable through the caller's
+        // frame and shield leaks from detection.
+        b.clear(done);
+        b.clear(cancelled);
+    }
+
+    /// Emits `dst, _ = context.WithCancel(parent)`. The child gets its own
+    /// `done` channel; cancel it with [`ContextLib::cancel`].
+    ///
+    /// Simplification vs Go: parent cancellation does not propagate to
+    /// children automatically — guest code that needs propagation selects
+    /// on both `done` channels, as plenty of real Go code does anyway.
+    pub fn with_cancel(&self, b: &mut FuncBuilder, dst: Var, _parent: Var) {
+        let done = b.var("ctx.done");
+        b.make_chan(done, 0);
+        let cancelled = b.var("ctx.cancelled");
+        let zero = b.int(0);
+        b.new_cell(cancelled, zero);
+        b.new_struct(self.ty, &[done, cancelled], dst);
+        b.clear(done);
+        b.clear(cancelled);
+    }
+
+    /// Emits `dst, _ = context.WithTimeout(parent, after)`: the context
+    /// auto-cancels when the runtime timer fires. Guest code should select
+    /// on [`ContextLib::done`] as usual.
+    ///
+    /// Implementation: the `done` slot holds a `time.After` channel, so the
+    /// runtime delivers the cancellation signal. `cancel` on a timeout
+    /// context is a no-op (the timer owns the channel).
+    pub fn with_timeout(&self, b: &mut FuncBuilder, dst: Var, _parent: Var, after: u64) {
+        let done = b.var("ctx.done");
+        b.timer_chan(done, after);
+        let cancelled = b.var("ctx.cancelled");
+        let zero = b.int(0);
+        b.new_cell(cancelled, zero);
+        b.new_struct(self.ty, &[done, cancelled], dst);
+        b.clear(done);
+        b.clear(cancelled);
+    }
+
+    /// Emits `dst = ctx.Done()` — loads the context's done channel.
+    pub fn done(&self, b: &mut FuncBuilder, dst: Var, ctx: Var) {
+        b.get_field(dst, ctx, 0);
+    }
+
+    /// Emits `cancel(ctx)`: closes the done channel exactly once (repeat
+    /// calls are no-ops, like Go's cancel functions).
+    pub fn cancel(&self, b: &mut FuncBuilder, ctx: Var) {
+        let cancelled = b.var("cancel.flag");
+        b.get_field(cancelled, ctx, 1);
+        let state = b.var("cancel.state");
+        b.cell_get(state, cancelled);
+        let skip = b.label();
+        b.jump_if(state, skip);
+        let one = b.int(1);
+        b.cell_set(cancelled, one);
+        let done = b.var("cancel.done");
+        b.get_field(done, ctx, 0);
+        b.close_chan(done);
+        b.clear(done);
+        b.bind(skip);
+        b.clear(cancelled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SelectSpec;
+    use crate::vm::{RunStatus, Vm, VmConfig};
+    use crate::GStatus;
+
+    #[test]
+    fn cancel_is_idempotent() {
+        let mut p = ProgramSet::new();
+        let lib = ContextLib::install(&mut p);
+        let mut b = FuncBuilder::new("main", 0);
+        let root = b.var("root");
+        lib.background(&mut b, root);
+        let ctx = b.var("ctx");
+        lib.with_cancel(&mut b, ctx, root);
+        lib.cancel(&mut b, ctx);
+        lib.cancel(&mut b, ctx); // must not panic with "close of closed channel"
+        b.ret(None);
+        p.define(b);
+        let mut vm = Vm::boot(p, VmConfig::default());
+        assert_eq!(vm.run(1_000).status, RunStatus::MainDone);
+    }
+
+    #[test]
+    fn timeout_context_fires() {
+        let mut p = ProgramSet::new();
+        let lib = ContextLib::install(&mut p);
+        let site = p.site("main:worker");
+
+        let mut b = FuncBuilder::new("worker", 1);
+        let ctx = b.param(0);
+        let done = b.var("done");
+        lib.done(&mut b, done, ctx);
+        b.recv(done, None);
+        b.ret(None);
+        let worker = p.define(b);
+
+        let mut b = FuncBuilder::new("main", 0);
+        let root = b.var("root");
+        lib.background(&mut b, root);
+        let ctx = b.var("ctx");
+        lib.with_timeout(&mut b, ctx, root, 15);
+        b.go(worker, &[ctx], site);
+        b.sleep(50);
+        b.ret(None);
+        p.define(b);
+
+        let mut vm = Vm::boot(p, VmConfig::default());
+        assert_eq!(vm.run(10_000).status, RunStatus::MainDone);
+        assert_eq!(vm.live_count(), 0, "timeout released the worker");
+    }
+
+    #[test]
+    fn forgotten_cancel_leaks_the_worker() {
+        // The canonical context leak: WithCancel, spawn, never cancel.
+        let mut p = ProgramSet::new();
+        let lib = ContextLib::install(&mut p);
+        let site = p.site("main:worker");
+
+        let mut b = FuncBuilder::new("worker", 2); // ctx, work
+        let ctx = b.param(0);
+        let work = b.param(1);
+        let done = b.var("done");
+        lib.done(&mut b, done, ctx);
+        let l_done = b.label();
+        let l_work = b.label();
+        let top = b.label();
+        b.bind(top);
+        b.select(SelectSpec::new().recv(done, None, l_done).recv(work, None, l_work));
+        b.bind(l_work);
+        b.jump(top);
+        b.bind(l_done);
+        b.ret(None);
+        let worker = p.define(b);
+
+        let mut b = FuncBuilder::new("main", 0);
+        let root = b.var("root");
+        lib.background(&mut b, root);
+        let ctx = b.var("ctx");
+        lib.with_cancel(&mut b, ctx, root);
+        let work = b.var("work");
+        b.make_chan(work, 1);
+        b.go(worker, &[ctx, work], site);
+        // defer cancel() forgotten: ctx and work go out of scope.
+        b.clear(ctx);
+        b.clear(work);
+        b.clear(root);
+        b.sleep(20);
+        b.ret(None);
+        p.define(b);
+
+        let mut vm = Vm::boot(p, VmConfig::default());
+        assert_eq!(vm.run(10_000).status, RunStatus::MainDone);
+        let g = vm.live_goroutines().next().expect("leaked worker");
+        assert!(matches!(g.status, GStatus::Waiting(_)));
+        assert!(g.deadlock_candidate(), "exactly the leak GOLF exists for");
+    }
+}

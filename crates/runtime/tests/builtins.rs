@@ -1,0 +1,120 @@
+//! `len`/`cap` channel builtins and `runtime.Goexit`.
+
+use golf_runtime::{BinOp, FuncBuilder, ProgramSet, RunStatus, Value, Vm, VmConfig};
+
+#[test]
+fn chan_len_and_cap_track_buffering() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let mut b = FuncBuilder::new("main", 0);
+    let ch = b.var("ch");
+    b.make_chan(ch, 3);
+    let v = b.int(9);
+    b.send(ch, v);
+    b.send(ch, v);
+    let len = b.var("len");
+    let cap = b.var("cap");
+    b.chan_len(len, ch);
+    b.chan_cap(cap, ch);
+    // out = len*10 + cap = 23
+    let ten = b.int(10);
+    let acc = b.var("acc");
+    b.bin(BinOp::Mul, acc, len, ten);
+    b.bin(BinOp::Add, acc, acc, cap);
+    // Drain one and fold the new len in: out = 23*10 + 1 = 231
+    b.recv(ch, None);
+    b.chan_len(len, ch);
+    b.bin(BinOp::Mul, acc, acc, ten);
+    b.bin(BinOp::Add, acc, acc, len);
+    b.set_global(out, acc);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = Vm::boot(p, VmConfig::default());
+    assert_eq!(vm.run(1_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Int(231));
+}
+
+#[test]
+fn nil_chan_len_cap_are_zero() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let mut b = FuncBuilder::new("main", 0);
+    let nil = b.var("nil");
+    let len = b.var("len");
+    let cap = b.var("cap");
+    b.chan_len(len, nil);
+    b.chan_cap(cap, nil);
+    let sum = b.var("sum");
+    b.bin(BinOp::Add, sum, len, cap);
+    b.set_global(out, sum);
+    b.ret(None);
+    p.define(b);
+    let mut vm = Vm::boot(p, VmConfig::default());
+    assert_eq!(vm.run(1_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Int(0));
+}
+
+#[test]
+fn goexit_terminates_only_the_caller() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let site = p.site("main:g");
+
+    // g: out += 1; Goexit; out += 100 (never runs)
+    let mut b = FuncBuilder::new("g", 0);
+    let cur = b.var("cur");
+    let one = b.int(1);
+    b.get_global(cur, out);
+    b.bin(BinOp::Add, cur, cur, one);
+    b.set_global(out, cur);
+    b.goexit();
+    let hundred = b.int(100);
+    b.bin(BinOp::Add, cur, cur, hundred);
+    b.set_global(out, cur);
+    b.ret(None);
+    let g = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let zero = b.int(0);
+    b.set_global(out, zero);
+    b.go(g, &[], site);
+    b.sleep(20);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = Vm::boot(p, VmConfig::default());
+    assert_eq!(vm.run(10_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Int(1), "code after Goexit must not run");
+    assert_eq!(vm.live_count(), 0);
+}
+
+#[test]
+fn goexit_in_nested_call_unwinds_the_whole_goroutine() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let site = p.site("main:g");
+
+    let mut b = FuncBuilder::new("inner", 0);
+    b.goexit();
+    let inner = p.define(b);
+
+    let mut b = FuncBuilder::new("g", 0);
+    b.call(inner, &[], None);
+    // Unlike a return from `inner`, Goexit must not resume here.
+    let one = b.int(1);
+    b.set_global(out, one);
+    b.ret(None);
+    let g = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    b.go(g, &[], site);
+    b.sleep(20);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = Vm::boot(p, VmConfig::default());
+    assert_eq!(vm.run(10_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Nil, "Goexit unwinds every frame");
+    assert_eq!(vm.live_count(), 0);
+}

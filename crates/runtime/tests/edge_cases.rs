@@ -1,0 +1,574 @@
+//! Edge-case semantics: the corners of Go's concurrency model that the
+//! microbenchmark corpus leans on — self-selects, close-through-select,
+//! writer preference, timer buffering, reuse generations, panic policies.
+
+use golf_runtime::{
+    BinOp, FuncBuilder, GStatus, PanicPolicy, ProgramSet, RunStatus, SelectSpec, Value, Vm,
+    VmConfig, WaitReason,
+};
+
+fn boot(p: ProgramSet) -> Vm {
+    Vm::boot(p, VmConfig::default())
+}
+
+#[test]
+fn self_select_on_same_channel_blocks_forever() {
+    // select { case ch <- 1:  case <-ch: } — a goroutine cannot rendezvous
+    // with itself on an unbuffered channel (Go semantics).
+    let mut p = ProgramSet::new();
+    let site = p.site("main:self");
+    let mut b = FuncBuilder::new("selfer", 1);
+    let ch = b.param(0);
+    let v = b.int(1);
+    let l1 = b.label();
+    let l2 = b.label();
+    b.select(SelectSpec::new().send(ch, v, l1).recv(ch, None, l2));
+    b.bind(l1);
+    b.bind(l2);
+    b.ret(None);
+    let selfer = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let ch = b.var("ch");
+    b.make_chan(ch, 0);
+    b.go(selfer, &[ch], site);
+    b.sleep(20);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = boot(p);
+    assert_eq!(vm.run(5_000).status, RunStatus::MainDone);
+    let g = vm.live_goroutines().next().expect("selfer parked");
+    assert_eq!(g.status, GStatus::Waiting(WaitReason::Select));
+}
+
+#[test]
+fn two_self_selects_can_match_each_other() {
+    let mut p = ProgramSet::new();
+    let site = p.site("main:self");
+    let mut b = FuncBuilder::new("selfer", 1);
+    let ch = b.param(0);
+    let v = b.int(1);
+    let l1 = b.label();
+    let l2 = b.label();
+    let done = b.label();
+    b.select(SelectSpec::new().send(ch, v, l1).recv(ch, None, l2));
+    b.bind(l1);
+    b.jump(done);
+    b.bind(l2);
+    b.bind(done);
+    b.ret(None);
+    let selfer = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let ch = b.var("ch");
+    b.make_chan(ch, 0);
+    b.go(selfer, &[ch], site);
+    b.go(selfer, &[ch], site);
+    b.sleep(30);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = boot(p);
+    assert_eq!(vm.run(5_000).status, RunStatus::MainDone);
+    assert_eq!(vm.live_count(), 0, "the two selects paired up (one sent, one received)");
+}
+
+#[test]
+fn select_with_only_nil_channels_takes_default() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let mut b = FuncBuilder::new("main", 0);
+    let nil_ch = b.var("nil"); // never assigned
+    let l1 = b.label();
+    let l_def = b.label();
+    let done = b.label();
+    b.select(SelectSpec::new().recv(nil_ch, None, l1).default_case(l_def));
+    b.bind(l1);
+    b.panic("nil channel case can never fire");
+    b.bind(l_def);
+    let one = b.int(1);
+    b.set_global(out, one);
+    b.jump(done);
+    b.bind(done);
+    b.ret(None);
+    p.define(b);
+    let mut vm = boot(p);
+    assert_eq!(vm.run(1_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Int(1));
+}
+
+#[test]
+fn close_wakes_select_receiver_with_not_ok() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let site = p.site("main:sel");
+
+    let mut b = FuncBuilder::new("selector", 1);
+    let ch = b.param(0);
+    let ok = b.var("ok");
+    let l = b.label();
+    b.select(SelectSpec::new().recv_ok(ch, None, Some(ok), l));
+    b.bind(l);
+    // out = ok (should be false after close)
+    b.set_global(out, ok);
+    b.ret(None);
+    let selector = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let ch = b.var("ch");
+    b.make_chan(ch, 0);
+    b.go(selector, &[ch], site);
+    b.sleep(10);
+    b.close_chan(ch);
+    b.sleep(10);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = boot(p);
+    assert_eq!(vm.run(5_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Bool(false));
+    assert_eq!(vm.live_count(), 0);
+}
+
+#[test]
+fn select_send_into_buffered_room_is_immediate() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let mut b = FuncBuilder::new("main", 0);
+    let ch = b.var("ch");
+    b.make_chan(ch, 2);
+    let v = b.int(5);
+    let l = b.label();
+    let l_def = b.label();
+    let done = b.label();
+    b.select(SelectSpec::new().send(ch, v, l).default_case(l_def));
+    b.bind(l);
+    let got = b.var("got");
+    b.recv(ch, Some(got));
+    b.set_global(out, got);
+    b.jump(done);
+    b.bind(l_def);
+    b.panic("buffered send must be ready");
+    b.bind(done);
+    b.ret(None);
+    p.define(b);
+    let mut vm = boot(p);
+    assert_eq!(vm.run(1_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Int(5));
+}
+
+#[test]
+fn waitgroup_is_reusable_across_waves() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let site = p.site("main:w");
+    // The increment is mutex-protected: two workers race per wave and the
+    // naive read-modify-write genuinely loses updates in this scheduler.
+    let mut b = FuncBuilder::new("worker", 3); // wg, cell, mu
+    let wg = b.param(0);
+    let cell = b.param(1);
+    let mu = b.param(2);
+    let t = b.var("t");
+    let one = b.int(1);
+    b.lock(mu);
+    b.cell_get(t, cell);
+    b.bin(BinOp::Add, t, t, one);
+    b.cell_set(cell, t);
+    b.unlock(mu);
+    b.wg_done(wg);
+    b.ret(None);
+    let worker = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let wg = b.var("wg");
+    let cell = b.var("cell");
+    let mu = b.var("mu");
+    let zero = b.int(0);
+    b.new_waitgroup(wg);
+    b.new_cell(cell, zero);
+    b.new_mutex(mu);
+    b.repeat(3, |b, _| {
+        b.wg_add(wg, 2);
+        b.go(worker, &[wg, cell, mu], site);
+        b.go(worker, &[wg, cell, mu], site);
+        b.wg_wait(wg); // waves: the same WaitGroup cycles 2 -> 0 three times
+    });
+    let v = b.var("v");
+    b.cell_get(v, cell);
+    b.set_global(out, v);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = boot(p);
+    assert_eq!(vm.run(100_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Int(6));
+}
+
+#[test]
+fn broadcast_wakes_all_waiters_who_relock_one_by_one() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let site = p.site("main:w");
+    let mut b = FuncBuilder::new("waiter", 4); // mu, cond, cell, wg
+    let mu = b.param(0);
+    let cond = b.param(1);
+    let cell = b.param(2);
+    let wg = b.param(3);
+    b.lock(mu);
+    b.cond_wait(cond, mu);
+    // Holding the re-acquired lock: increment the shared counter.
+    let t = b.var("t");
+    let one = b.int(1);
+    b.cell_get(t, cell);
+    b.bin(BinOp::Add, t, t, one);
+    b.cell_set(cell, t);
+    b.unlock(mu);
+    b.wg_done(wg);
+    b.ret(None);
+    let waiter = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let mu = b.var("mu");
+    let cond = b.var("cond");
+    let cell = b.var("cell");
+    let wg = b.var("wg");
+    let zero = b.int(0);
+    b.new_mutex(mu);
+    b.new_cond(cond);
+    b.new_cell(cell, zero);
+    b.new_waitgroup(wg);
+    b.wg_add(wg, 4);
+    b.repeat(4, |b, _| b.go(waiter, &[mu, cond, cell, wg], site));
+    b.sleep(30); // everyone parked on the cond
+    b.cond_broadcast(cond);
+    b.wg_wait(wg);
+    let v = b.var("v");
+    b.cell_get(v, cell);
+    b.set_global(out, v);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = boot(p);
+    assert_eq!(vm.run(100_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Int(4));
+}
+
+#[test]
+fn rwlock_writer_preference_blocks_new_readers() {
+    // reader1 holds RLock; a writer queues; reader2 arrives later and must
+    // queue behind the writer (no reader barging).
+    let mut p = ProgramSet::new();
+    let out = p.global("order"); // records completion order digits
+    let s1 = p.site("main:r1");
+    let s2 = p.site("main:w");
+    let s3 = p.site("main:r2");
+
+    let push_digit = |b: &mut FuncBuilder, out: golf_runtime::GlobalId, d: i64| {
+        let cur = b.var("cur");
+        b.get_global(cur, out);
+        let ten = b.int(10);
+        let digit = b.int(d);
+        let t = b.var("t");
+        b.bin(BinOp::Mul, t, cur, ten);
+        b.bin(BinOp::Add, t, t, digit);
+        b.set_global(out, t);
+    };
+
+    let mut b = FuncBuilder::new("reader1", 1);
+    let rw = b.param(0);
+    b.rlock(rw);
+    b.sleep(20);
+    push_digit(&mut b, out, 1);
+    b.runlock(rw);
+    b.ret(None);
+    let reader1 = p.define(b);
+
+    let mut b = FuncBuilder::new("writer", 1);
+    let rw = b.param(0);
+    b.sleep(5);
+    b.wlock(rw);
+    push_digit(&mut b, out, 2);
+    b.wunlock(rw);
+    b.ret(None);
+    let writer = p.define(b);
+
+    let mut b = FuncBuilder::new("reader2", 1);
+    let rw = b.param(0);
+    b.sleep(10); // arrives after the writer queued
+    b.rlock(rw);
+    push_digit(&mut b, out, 3);
+    b.runlock(rw);
+    b.ret(None);
+    let reader2 = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let rw = b.var("rw");
+    b.new_rwlock(rw);
+    let zero = b.int(0);
+    b.set_global(out, zero);
+    b.go(reader1, &[rw], s1);
+    b.go(writer, &[rw], s2);
+    b.go(reader2, &[rw], s3);
+    b.sleep(100);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = boot(p);
+    assert_eq!(vm.run(100_000).status, RunStatus::MainDone);
+    // Order must be reader1 (1), writer (2), reader2 (3): 123.
+    assert_eq!(vm.global(out), Value::Int(123));
+}
+
+#[test]
+fn timer_value_buffers_for_late_receiver() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let mut b = FuncBuilder::new("main", 0);
+    let t = b.var("t");
+    b.timer_chan(t, 5);
+    b.sleep(50); // the timer fired long ago; its value waits in the buffer
+    let got = b.var("got");
+    b.recv(t, Some(got));
+    b.set_global(out, got);
+    b.ret(None);
+    p.define(b);
+    let mut vm = boot(p);
+    assert_eq!(vm.run(5_000).status, RunStatus::MainDone);
+    // The timer delivers its fire tick.
+    let Value::Int(fire_tick) = vm.global(out) else { panic!("no timer value") };
+    assert!((5..=8).contains(&fire_tick), "fire tick {fire_tick}");
+}
+
+#[test]
+fn deep_recursion_works() {
+    // fib(12) via naive recursion exercises frame push/pop + ret_dst.
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let fib = p.declare("fib", 1);
+    let mut b = FuncBuilder::new("fib", 1);
+    let n = b.param(0);
+    let two = b.int(2);
+    let lt = b.var("lt");
+    b.bin(BinOp::Lt, lt, n, two);
+    let recurse = b.label();
+    b.jump_if_not(lt, recurse);
+    b.ret(Some(n));
+    b.bind(recurse);
+    let one = b.int(1);
+    let n1 = b.var("n1");
+    let n2 = b.var("n2");
+    b.bin(BinOp::Sub, n1, n, one);
+    b.bin(BinOp::Sub, n2, n, two);
+    let a = b.var("a");
+    let c = b.var("c");
+    b.call(fib, &[n1], Some(a));
+    b.call(fib, &[n2], Some(c));
+    let r = b.var("r");
+    b.bin(BinOp::Add, r, a, c);
+    b.ret(Some(r));
+    p.fill(fib, b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let n = b.int(12);
+    let r = b.var("r");
+    b.call(fib, &[n], Some(r));
+    b.set_global(out, r);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = boot(p);
+    assert_eq!(vm.run(1_000_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Int(144));
+}
+
+#[test]
+fn stale_gids_after_reuse_do_not_resolve() {
+    let mut p = ProgramSet::new();
+    let site = p.site("main:short");
+    let mut b = FuncBuilder::new("short", 0);
+    b.nop();
+    let short = p.define(b);
+    let mut b = FuncBuilder::new("main", 0);
+    b.go(short, &[], site);
+    b.sleep(5);
+    b.go(short, &[], site); // reuses the slot with a bumped generation
+    b.sleep(5);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = boot(p);
+    // Capture the first spawned goroutine's gid mid-run.
+    let mut first_gid = None;
+    while vm.now() < 2 {
+        vm.step_tick();
+        if first_gid.is_none() {
+            first_gid = vm.live_goroutines().find(|g| g.id != vm.main_gid()).map(|g| g.id);
+        }
+    }
+    let first = first_gid.expect("observed the first goroutine");
+    assert_eq!(vm.run(5_000).status, RunStatus::MainDone);
+    assert!(vm.goroutine(first).is_none(), "stale gid must not resolve after slot reuse");
+    assert!(vm.counters().reused >= 1);
+}
+
+#[test]
+fn crash_policy_stops_world_kill_policy_continues() {
+    let build = || {
+        let mut p = ProgramSet::new();
+        let site = p.site("main:bad");
+        let mut b = FuncBuilder::new("bad", 0);
+        b.panic("boom");
+        let bad = p.define(b);
+        let mut b = FuncBuilder::new("main", 0);
+        b.go(bad, &[], site);
+        b.sleep(50);
+        b.ret(None);
+        p.define(b);
+        p
+    };
+    let mut vm = Vm::boot(build(), VmConfig::default());
+    assert_eq!(vm.run(5_000).status, RunStatus::Panicked);
+
+    let mut vm = Vm::boot(
+        build(),
+        VmConfig { panic_policy: PanicPolicy::KillGoroutine, ..VmConfig::default() },
+    );
+    assert_eq!(vm.run(5_000).status, RunStatus::MainDone);
+    assert_eq!(vm.panics().len(), 1);
+    assert_eq!(vm.panics()[0].message, "boom");
+}
+
+#[test]
+fn range_over_preclosed_buffered_channel_drains_buffer() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let mut b = FuncBuilder::new("main", 0);
+    let ch = b.var("ch");
+    b.make_chan(ch, 3);
+    for i in [7i64, 8, 9] {
+        let v = b.int(i);
+        b.send(ch, v);
+    }
+    b.close_chan(ch);
+    let sum = b.int(0);
+    let item = b.var("item");
+    b.range_chan(ch, item, |b| {
+        b.bin(BinOp::Add, sum, sum, item);
+    });
+    b.set_global(out, sum);
+    b.ret(None);
+    p.define(b);
+    let mut vm = boot(p);
+    assert_eq!(vm.run(5_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Int(24));
+}
+
+#[test]
+fn slice_out_of_bounds_panics() {
+    let mut p = ProgramSet::new();
+    let mut b = FuncBuilder::new("main", 0);
+    let s = b.var("s");
+    b.new_slice(s);
+    let idx = b.int(0);
+    let dst = b.var("dst");
+    b.slice_get(dst, s, idx);
+    p.define(b);
+    let mut vm = boot(p);
+    assert_eq!(vm.run(1_000).status, RunStatus::Panicked);
+    assert!(vm.panics()[0].message.contains("index out of range"));
+}
+
+#[test]
+fn field_access_on_nil_panics_with_go_message() {
+    let mut p = ProgramSet::new();
+    let mut b = FuncBuilder::new("main", 0);
+    let nil = b.var("nil");
+    let dst = b.var("dst");
+    b.get_field(dst, nil, 0);
+    p.define(b);
+    let mut vm = boot(p);
+    assert_eq!(vm.run(1_000).status, RunStatus::Panicked);
+    assert!(vm.panics()[0].message.contains("nil pointer dereference"));
+}
+
+#[test]
+fn many_timers_fire_in_order() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let mut b = FuncBuilder::new("main", 0);
+    let t1 = b.var("t1");
+    let t2 = b.var("t2");
+    let t3 = b.var("t3");
+    b.timer_chan(t3, 30);
+    b.timer_chan(t1, 10);
+    b.timer_chan(t2, 20);
+    // Receive in firing order regardless of creation order.
+    let acc = b.int(0);
+    let got = b.var("got");
+    let hundred = b.int(100);
+    for t in [t1, t2, t3] {
+        b.recv(t, Some(got));
+        b.bin(BinOp::Mul, acc, acc, hundred);
+        // fold the tick in (values ≈ 10, 20, 30)
+        b.bin(BinOp::Add, acc, acc, got);
+    }
+    b.set_global(out, acc);
+    b.ret(None);
+    p.define(b);
+    let mut vm = boot(p);
+    assert_eq!(vm.run(5_000).status, RunStatus::MainDone);
+    let Value::Int(acc) = vm.global(out) else { panic!() };
+    let (a, bm, c) = (acc / 10_000, (acc / 100) % 100, acc % 100);
+    assert!(a < bm && bm < c, "timers delivered out of order: {a} {bm} {c}");
+}
+
+#[test]
+fn sleep_var_reads_duration_from_variable() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let mut b = FuncBuilder::new("main", 0);
+    let d = b.int(25);
+    b.sleep_var(d);
+    let t = b.var("t");
+    b.now_tick(t);
+    b.set_global(out, t);
+    b.ret(None);
+    p.define(b);
+    let mut vm = boot(p);
+    assert_eq!(vm.run(5_000).status, RunStatus::MainDone);
+    let Value::Int(t) = vm.global(out) else { panic!() };
+    assert!(t >= 25, "slept at least 25 ticks, woke at {t}");
+}
+
+#[test]
+fn assist_config_stalls_allocations_under_pressure() {
+    let build = |assist| {
+        let mut p = ProgramSet::new();
+        let out = p.global("out");
+        let mut b = FuncBuilder::new("main", 0);
+        let blob = b.var("blob");
+        // 40 x 4MB = 160MB of live blobs (a leak-like buildup).
+        let keep = b.var("keep");
+        b.new_slice(keep);
+        b.repeat(40, |b, _| {
+            b.new_blob(blob, 4 * 1024 * 1024);
+            b.slice_push(keep, blob);
+        });
+        let t = b.var("t");
+        b.now_tick(t);
+        b.set_global(out, t);
+        b.ret(None);
+        p.define(b);
+        let mut vm = Vm::boot(p, VmConfig { assist, ..VmConfig::default() });
+        assert_eq!(vm.run(100_000).status, RunStatus::MainDone);
+        let Value::Int(t) = vm.global(out) else { panic!() };
+        (t, out)
+    };
+    let (no_assist, _) = build(None);
+    let (with_assist, _) = build(Some(golf_runtime::AssistConfig::default()));
+    assert!(
+        with_assist > no_assist + 10,
+        "assists must slow the allocator under pressure: {with_assist} vs {no_assist}"
+    );
+}

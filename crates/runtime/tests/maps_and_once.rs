@@ -1,0 +1,193 @@
+//! Semantics of the Go map object and `sync.Once`.
+
+use golf_runtime::{BinOp, FuncBuilder, GlobalId, ProgramSet, RunStatus, Value, Vm, VmConfig};
+
+fn boot(p: ProgramSet) -> Vm {
+    Vm::boot(p, VmConfig::default())
+}
+
+#[test]
+fn map_set_get_delete_len() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let mut b = FuncBuilder::new("main", 0);
+    let m = b.var("m");
+    b.new_map(m);
+    let k1 = b.int(1);
+    let k2 = b.int(2);
+    let v10 = b.int(10);
+    let v20 = b.int(20);
+    b.map_set(m, k1, v10);
+    b.map_set(m, k2, v20);
+    b.map_set(m, k1, v20); // overwrite
+    let len = b.var("len");
+    b.map_len(len, m);
+    // acc = m[1]*1000 + m[2]*10 + len  -> 20*1000 + 20*10 + 2 = 20202
+    let g1 = b.var("g1");
+    let g2 = b.var("g2");
+    b.map_get(g1, m, k1);
+    b.map_get(g2, m, k2);
+    let thousand = b.int(1000);
+    let ten = b.int(10);
+    let acc = b.var("acc");
+    b.bin(BinOp::Mul, acc, g1, thousand);
+    let t = b.var("t");
+    b.bin(BinOp::Mul, t, g2, ten);
+    b.bin(BinOp::Add, acc, acc, t);
+    b.bin(BinOp::Add, acc, acc, len);
+    b.map_delete(m, k1);
+    let len2 = b.var("len2");
+    b.map_len(len2, m);
+    // out = acc*10 + len2 -> 20202*10 + 1 = 202021
+    b.bin(BinOp::Mul, acc, acc, ten);
+    b.bin(BinOp::Add, acc, acc, len2);
+    b.set_global(out, acc);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = boot(p);
+    assert_eq!(vm.run(1_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Int(202_021));
+}
+
+#[test]
+fn map_comma_ok_distinguishes_absent_from_zero() {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let mut b = FuncBuilder::new("main", 0);
+    let m = b.var("m");
+    b.new_map(m);
+    let k = b.int(7);
+    let nil = b.var("nilv");
+    b.map_set(m, k, nil); // present but nil
+    let got = b.var("got");
+    let ok1 = b.var("ok1");
+    let ok2 = b.var("ok2");
+    b.map_get_ok(got, m, k, ok1);
+    let absent = b.int(8);
+    b.map_get_ok(got, m, absent, ok2);
+    // out = ok1 && !ok2
+    let nok2 = b.var("nok2");
+    b.not(nok2, ok2);
+    let both = b.var("both");
+    b.bin(BinOp::And, both, ok1, nok2);
+    b.set_global(out, both);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = boot(p);
+    assert_eq!(vm.run(1_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Bool(true));
+}
+
+#[test]
+fn nil_map_reads_ok_writes_panic() {
+    // Reads on nil maps give the zero value.
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let mut b = FuncBuilder::new("main", 0);
+    let m = b.var("m"); // never allocated: nil
+    let k = b.int(1);
+    let got = b.var("got");
+    let ok = b.var("ok");
+    b.map_get_ok(got, m, k, ok);
+    let len = b.var("len");
+    b.map_len(len, m);
+    b.map_delete(m, k); // no-op
+    b.set_global(out, ok);
+    b.ret(None);
+    p.define(b);
+    let mut vm = boot(p);
+    assert_eq!(vm.run(1_000).status, RunStatus::MainDone);
+    assert_eq!(vm.global(out), Value::Bool(false));
+
+    // Writes to nil maps panic.
+    let mut p = ProgramSet::new();
+    let mut b = FuncBuilder::new("main", 0);
+    let m = b.var("m");
+    let k = b.int(1);
+    b.map_set(m, k, k);
+    p.define(b);
+    let mut vm = boot(p);
+    assert_eq!(vm.run(1_000).status, RunStatus::Panicked);
+    assert!(vm.panics()[0].message.contains("nil map"));
+}
+
+#[test]
+fn map_values_are_traced() {
+    // A heap object reachable only through a map must be visited by trace.
+    use golf_heap::Trace;
+    let mut p = ProgramSet::new();
+    let keep = p.global("keep");
+    let mut b = FuncBuilder::new("main", 0);
+    let m = b.var("m");
+    b.new_map(m);
+    let payload = b.var("payload");
+    b.new_slice(payload);
+    let k = b.int(1);
+    b.map_set(m, k, payload);
+    b.set_global(keep, m);
+    b.ret(None);
+    p.define(b);
+
+    let mut vm = boot(p);
+    assert_eq!(vm.run(1_000).status, RunStatus::MainDone);
+    let m = vm.global(keep).as_ref_handle().unwrap();
+    let mut children = Vec::new();
+    vm.heap().get(m).unwrap().trace(&mut |h| children.push(h));
+    assert_eq!(children.len(), 1, "the slice behind the map value");
+    assert!(vm.heap().contains(children[0]));
+}
+
+fn once_program() -> (ProgramSet, GlobalId) {
+    let mut p = ProgramSet::new();
+    let out = p.global("out");
+    let site = p.site("main:g");
+
+    // init: out += 1 (Once guarantees a single invocation, no lock needed).
+    let mut b = FuncBuilder::new("init_fn", 0);
+    let cur = b.var("cur");
+    b.get_global(cur, out);
+    let one = b.int(1);
+    b.bin(BinOp::Add, cur, cur, one);
+    b.set_global(out, cur);
+    b.ret(None);
+    let init_fn = p.define(b);
+
+    let mut b = FuncBuilder::new("g", 2); // once, wg
+    let once = b.param(0);
+    let wg = b.param(1);
+    b.once_do(once, init_fn);
+    b.wg_done(wg);
+    b.ret(None);
+    let g = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let zero = b.int(0);
+    b.set_global(out, zero);
+    let once = b.var("once");
+    let wg = b.var("wg");
+    b.new_once(once);
+    b.new_waitgroup(wg);
+    b.wg_add(wg, 8);
+    b.repeat(8, |b, _| b.go(g, &[once, wg], site));
+    b.wg_wait(wg);
+    // Even a later direct Do is a no-op.
+    b.once_do(once, init_fn);
+    b.ret(None);
+    p.define(b);
+    (p, out)
+}
+
+#[test]
+fn once_runs_exactly_once_across_goroutines() {
+    for procs in [1usize, 4] {
+        for seed in [0u64, 11, 97] {
+            let (p, out) = once_program();
+            let mut vm =
+                Vm::boot(p, VmConfig { gomaxprocs: procs, seed, ..VmConfig::default() });
+            assert_eq!(vm.run(100_000).status, RunStatus::MainDone);
+            assert_eq!(vm.global(out), Value::Int(1), "procs={procs} seed={seed}");
+        }
+    }
+}

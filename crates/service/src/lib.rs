@@ -1,0 +1,32 @@
+//! # golf-service
+//!
+//! The "real service" side of the reproduction: a simulated production
+//! microservice with injectable goroutine leaks, a load-generating client,
+//! `MemStats`-style metrics, a long-running deployment simulation, and the
+//! synthetic test-suite corpus used to compare GOLF against GOLEAK.
+//!
+//! Experiment map (see DESIGN.md §4):
+//!
+//! * [`service`] + [`table2`] — the paper's **Table 2** (controlled
+//!   service: throughput, latency percentiles, MemStats, GC metrics at
+//!   0% / 10% leak rates, baseline vs GOLF).
+//! * [`production`] — **Table 3** (P50/P99 latency and CPU ±σ under
+//!   diurnal traffic).
+//! * [`longrun`] — **Figure 1** (blocked goroutines over weeks of weekday
+//!   redeploys; weekends spike).
+//! * [`rq1c`] — **RQ1(c)** (a 24-hour five-instance deployment finding
+//!   252 individual partial deadlocks from 3 programming errors).
+//! * [`testcorpus`] — **Figure 3** / RQ1(b) (3 111 synthetic package test
+//!   suites, GOLF vs GOLEAK individual/deduplicated report ratios).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod longrun;
+pub mod production;
+pub mod rq1c;
+pub mod service;
+pub mod table2;
+pub mod testcorpus;
+
+pub use service::{boot_service, build_service, read_completed, read_latencies, ServiceConfig, ServiceGlobals};

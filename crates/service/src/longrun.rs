@@ -1,0 +1,160 @@
+//! The Figure 1 simulation: blocked goroutines over weeks of operation.
+//!
+//! The paper's production service leaks goroutines continuously; weekday
+//! redeployments mask the leak (counters reset with every restart), but
+//! over weekends and holidays nobody deploys and the count spikes. We
+//! replay that dynamic: a leaky service instance runs day after day, fresh
+//! VMs are booted on weekday mornings, and the blocked-goroutine count is
+//! sampled hourly.
+
+use crate::service::{boot_service, ServiceConfig};
+use golf_core::{GcMode, GolfConfig, PacerConfig, Session};
+use golf_metrics::TimeSeries;
+
+/// Long-run simulation parameters.
+#[derive(Debug, Clone)]
+pub struct LongRunConfig {
+    /// The (leaky) service workload.
+    pub service: ServiceConfig,
+    /// Simulated days.
+    pub days: usize,
+    /// Ticks per simulated day.
+    pub day_ticks: u64,
+    /// Samples per day (hourly in the paper's plot).
+    pub samples_per_day: usize,
+    /// Day-of-week the simulation starts on (0 = Monday).
+    pub start_weekday: usize,
+    /// Whether GOLF runs (with GOLF the curve stays flat — the fix the
+    /// paper motivates).
+    pub golf: bool,
+}
+
+impl Default for LongRunConfig {
+    fn default() -> Self {
+        LongRunConfig {
+            service: ServiceConfig {
+                connections: 8,
+                rpc_ticks: 30,
+                think_ticks: 5,
+                leak_per_mille: 60,
+                map_bytes: 10_000,
+                ..ServiceConfig::default()
+            },
+            days: 28,
+            day_ticks: 2_400,
+            samples_per_day: 24,
+            start_weekday: 0,
+            golf: false,
+        }
+    }
+}
+
+/// Runs the simulation, returning the sampled blocked-goroutine series
+/// (time unit: ticks since the start of the simulation).
+pub fn run_longrun(config: &LongRunConfig) -> TimeSeries {
+    let mut series = TimeSeries::new("blocked_goroutines");
+    let sample_every = (config.day_ticks / config.samples_per_day.max(1) as u64).max(1);
+
+    let new_session = |seed_bump: u64| {
+        let mut svc = config.service.clone();
+        svc.seed = svc.seed.wrapping_add(seed_bump);
+        let (vm, _) = boot_service(&svc);
+        let mode = if config.golf { GcMode::Golf } else { GcMode::Baseline };
+        let mut s = Session::new(vm, mode, GolfConfig::default(), PacerConfig::default());
+        s.engine_mut().set_keep_history(false);
+        s
+    };
+
+    let mut session = new_session(0);
+    for day in 0..config.days {
+        let weekday = (config.start_weekday + day) % 7;
+        let is_workday = weekday < 5;
+        // Weekday mornings: redeploy (restart the instance). The leak
+        // inventory resets — this is what hides the bug from operators.
+        if day > 0 && is_workday {
+            session = new_session(day as u64);
+        }
+        for sample in 0..config.samples_per_day {
+            session.run(sample_every);
+            let t = day as u64 * config.day_ticks + (sample as u64 + 1) * sample_every;
+            series.push(t, session.vm().blocked_count() as f64);
+        }
+    }
+    series
+}
+
+/// Renders an ASCII sparkline of the series (for terminal output).
+pub fn sparkline(series: &TimeSeries, width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let values = series.values();
+    if values.is_empty() {
+        return String::new();
+    }
+    let max = series.max().unwrap_or(1.0).max(1.0);
+    let step = (values.len() as f64 / width.max(1) as f64).max(1.0);
+    let mut out = String::new();
+    let mut i = 0.0;
+    while (i as usize) < values.len() && out.chars().count() < width {
+        let v = values[i as usize];
+        let idx = ((v / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+        out.push(BARS[idx]);
+        i += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(golf: bool) -> LongRunConfig {
+        LongRunConfig {
+            days: 14,
+            day_ticks: 800,
+            samples_per_day: 8,
+            golf,
+            ..LongRunConfig::default()
+        }
+    }
+
+    #[test]
+    fn weekends_spike_weekdays_reset() {
+        let series = run_longrun(&quick(false));
+        assert_eq!(series.len(), 14 * 8);
+        let values = series.values();
+        // Per-day peak blocked counts.
+        let day_peak: Vec<f64> =
+            values.chunks(8).map(|c| c.iter().cloned().fold(0.0, f64::max)).collect();
+        // Weekend days accumulate on top of Saturday: Sunday's peak (day 6,
+        // 0-indexed from Monday) exceeds a freshly-deployed weekday's.
+        let sunday = day_peak[6];
+        let tuesday = day_peak[1];
+        assert!(
+            sunday > tuesday * 1.5,
+            "weekend spike missing: sunday {sunday} vs tuesday {tuesday}"
+        );
+        // Monday restarts: count drops again.
+        let monday2 = day_peak[7];
+        assert!(monday2 < sunday, "redeploy must reset the leak: {monday2} vs {sunday}");
+    }
+
+    #[test]
+    fn golf_keeps_the_curve_flat() {
+        let base = run_longrun(&quick(false));
+        let golf = run_longrun(&quick(true));
+        let base_max = base.max().unwrap();
+        let golf_max = golf.max().unwrap();
+        assert!(
+            golf_max < base_max / 3.0,
+            "GOLF should reclaim leaks continuously: golf {golf_max} vs base {base_max}"
+        );
+    }
+
+    #[test]
+    fn sparkline_renders() {
+        let series = run_longrun(&quick(false));
+        let s = sparkline(&series, 40);
+        assert!(!s.is_empty());
+        assert!(s.chars().count() <= 40);
+    }
+}

@@ -1,0 +1,277 @@
+//! The RQ1(c) experiment: GOLF on a real service over 24 hours.
+//!
+//! The paper deploys GOLF on five instances of a production Uber service;
+//! over 24 hours it detects **252 individual partial deadlocks** which
+//! deduplicate (by stack trace) to **3 programming errors**, all of the
+//! `SendEmail` shape (Listing 7): a helper returns a completion channel the
+//! caller never reads.
+//!
+//! We reproduce the deployment: a service with three independently leaky
+//! endpoints — `SendEmail` (forgotten completion channel), `AuditLog`
+//! (abandoned timeout), and `NotifyPeer` (double send) — handles diurnal
+//! traffic for a simulated day while GOLF reports through the "logging
+//! infrastructure" (the report list).
+
+use golf_core::{GcMode, GolfConfig, PacerConfig, Session};
+use golf_runtime::{BinOp, FuncBuilder, ProgramSet, SelectSpec, Vm, VmConfig};
+use std::collections::BTreeMap;
+
+/// Deployment parameters.
+#[derive(Debug, Clone)]
+pub struct Rq1cConfig {
+    /// Service instances (the paper deploys five).
+    pub instances: usize,
+    /// Simulated hours (the paper observes 24).
+    pub hours: usize,
+    /// Ticks per simulated hour.
+    pub ticks_per_hour: u64,
+    /// Concurrent request drivers per instance.
+    pub connections: usize,
+    /// Per-endpoint leak rates, per mille of requests hitting the endpoint.
+    pub leak_per_mille: [i64; 3],
+    /// Base seed (each instance derives its own).
+    pub seed: u64,
+}
+
+impl Default for Rq1cConfig {
+    fn default() -> Self {
+        Rq1cConfig {
+            instances: 5,
+            hours: 24,
+            ticks_per_hour: 1_200,
+            connections: 6,
+            leak_per_mille: [9, 4, 3],
+            seed: 0x24B0,
+        }
+    }
+}
+
+/// Aggregated deployment results.
+#[derive(Debug, Clone)]
+pub struct Rq1cResult {
+    /// Individual partial deadlocks across all instances (paper: 252).
+    pub individual_reports: usize,
+    /// Deduplicated source locations `(block site, spawn site)` with their
+    /// individual counts (paper: 3 errors).
+    pub by_location: BTreeMap<(String, String), usize>,
+    /// Requests served across all instances.
+    pub requests_served: u64,
+}
+
+/// Builds one service instance with the three leaky endpoints. Returns the
+/// program and the id of the served-request counter global.
+fn build_instance(config: &Rq1cConfig) -> (ProgramSet, golf_runtime::GlobalId) {
+    let mut p = ProgramSet::new();
+    let conn_site = p.site("main:conn");
+    let s_email = p.site("SendEmail:104");
+    let s_audit = p.site("AuditLog:77");
+    let s_notify = p.site("NotifyPeer:58");
+
+    // SendEmail (Listing 7): completion channel nobody reads.
+    let mut b = FuncBuilder::new("emailTask", 1);
+    let done = b.param(0);
+    b.sleep(3);
+    let v = b.int(1);
+    b.send(done, v);
+    b.ret(None);
+    let email_task = p.define(b);
+
+    let mut b = FuncBuilder::new("send_email", 0);
+    let done = b.var("done");
+    b.make_chan(done, 0);
+    b.go(email_task, &[done], s_email);
+    let leak = b.var("leak");
+    b.rand_chance(leak, config.leak_per_mille[0], 1000);
+    let skip = b.label();
+    b.jump_if(leak, skip); // HandleRequest forgets the channel
+    b.recv(done, None);
+    b.bind(skip);
+    b.ret(None);
+    let send_email = p.define(b);
+
+    // AuditLog: the result send loses a race against the caller's timeout.
+    let mut b = FuncBuilder::new("auditWorker", 1);
+    let res = b.param(0);
+    b.sleep(25);
+    let v = b.int(1);
+    b.send(res, v);
+    b.ret(None);
+    let audit_worker = p.define(b);
+
+    let mut b = FuncBuilder::new("audit_log", 0);
+    let res = b.var("res");
+    b.make_chan(res, 0);
+    let leak = b.var("leak");
+    b.rand_chance(leak, config.leak_per_mille[1], 1000);
+    let buggy = b.label();
+    let done = b.label();
+    b.jump_if(leak, buggy);
+    // Healthy path: wait for the audit to land.
+    b.go(audit_worker, &[res], s_audit);
+    b.recv(res, None);
+    b.jump(done);
+    b.bind(buggy);
+    // Buggy path: an aggressive timeout abandons the worker.
+    b.go(audit_worker, &[res], s_audit);
+    let t = b.var("t");
+    b.timer_chan(t, 4);
+    let l_res = b.label();
+    let l_to = b.label();
+    b.select(SelectSpec::new().recv(res, None, l_res).recv(t, None, l_to));
+    b.bind(l_res);
+    b.bind(l_to);
+    b.bind(done);
+    b.ret(None);
+    let audit_log = p.define(b);
+
+    // NotifyPeer: double send; the caller takes the first message only.
+    let mut b = FuncBuilder::new("notifyWorker", 2);
+    let ch1 = b.param(0);
+    let ch2 = b.param(1);
+    let v = b.int(1);
+    b.send(ch1, v);
+    b.send(ch2, v);
+    b.ret(None);
+    let notify_worker = p.define(b);
+
+    let mut b = FuncBuilder::new("notify_peer", 0);
+    let ch1 = b.var("ch1");
+    let ch2 = b.var("ch2");
+    let leak = b.var("leak");
+    b.rand_chance(leak, config.leak_per_mille[2], 1000);
+    // Healthy requests use buffered channels (the fix already shipped for
+    // most call sites); the buggy call site still passes unbuffered ones.
+    b.if_else(
+        leak,
+        |b| {
+            b.make_chan(ch1, 0);
+            b.make_chan(ch2, 0);
+        },
+        |b| {
+            b.make_chan(ch1, 1);
+            b.make_chan(ch2, 1);
+        },
+    );
+    b.go(notify_worker, &[ch1, ch2], s_notify);
+    let l1 = b.label();
+    let l2 = b.label();
+    let fin = b.label();
+    b.select(SelectSpec::new().recv(ch1, None, l1).recv(ch2, None, l2));
+    b.bind(l1);
+    b.jump(fin);
+    b.bind(l2);
+    b.bind(fin);
+    b.ret(None);
+    let notify_peer = p.define(b);
+
+    // conn: loop { think; pick an endpoint; count }.
+    let mut b = FuncBuilder::new("conn", 1); // counter
+    let counter = b.param(0);
+    b.forever(|b| {
+        b.sleep(7);
+        let which = b.var("which");
+        b.rand_int(which, 3);
+        let zero = b.int(0);
+        let one = b.int(1);
+        let is0 = b.var("is0");
+        let is1 = b.var("is1");
+        b.bin(BinOp::Eq, is0, which, zero);
+        b.bin(BinOp::Eq, is1, which, one);
+        b.if_else(
+            is0,
+            |b| b.call(send_email, &[], None),
+            |b| {
+                b.if_else(
+                    is1,
+                    |b| b.call(audit_log, &[], None),
+                    |b| b.call(notify_peer, &[], None),
+                );
+            },
+        );
+        let c = b.var("c");
+        b.cell_get(c, counter);
+        b.bin(BinOp::Add, c, c, one);
+        b.cell_set(counter, c);
+    });
+    let conn = p.define(b);
+
+    let counter_global = p.global("served");
+    let mut b = FuncBuilder::new("main", 0);
+    let counter = b.var("counter");
+    let zero = b.int(0);
+    b.new_cell(counter, zero);
+    b.set_global(counter_global, counter);
+    b.repeat(config.connections as i64, |b, _| {
+        b.go(conn, &[counter], conn_site);
+    });
+    b.forever(|b| b.sleep(10_000));
+    p.define(b);
+    (p, counter_global)
+}
+
+/// Runs the deployment: `instances` services for `hours` simulated hours.
+pub fn run_rq1c(config: &Rq1cConfig) -> Rq1cResult {
+    let mut by_location: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut individual = 0usize;
+    let mut served = 0u64;
+
+    for instance in 0..config.instances {
+        let (p, served_global) = build_instance(config);
+        let vm = Vm::boot(
+            p,
+            VmConfig {
+                gomaxprocs: 4,
+                seed: config.seed.wrapping_add(instance as u64 * 0x9E37),
+                ..VmConfig::default()
+            },
+        );
+        let mut session =
+            Session::new(vm, GcMode::Golf, GolfConfig::default(), PacerConfig::default());
+        session.engine_mut().set_keep_history(false);
+        for _ in 0..config.hours {
+            session.run(config.ticks_per_hour);
+            // Go forces a GC at least every two minutes; hourly is ample
+            // for stable leaks.
+            session.collect();
+        }
+        session.collect();
+        individual += session.reports().len();
+        for (key, count) in golf_core::dedup_counts(session.reports()) {
+            *by_location.entry(key).or_insert(0) += count;
+        }
+        // Count served requests via the instrumented counter.
+        if let golf_runtime::Value::Ref(h) = session.vm().global(served_global) {
+            if let Some(golf_runtime::Object::Cell(v)) = session.vm().heap().get(h) {
+                served += v.as_int().unwrap_or(0).max(0) as u64;
+            }
+        }
+    }
+
+    Rq1cResult { individual_reports: individual, by_location, requests_served: served }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_finds_the_three_errors() {
+        // Elevated leak rates so the short test window still exposes all
+        // three errors (the full calibrated run lives in the rq1c binary).
+        let r = run_rq1c(&Rq1cConfig {
+            instances: 2,
+            hours: 4,
+            ticks_per_hour: 800,
+            leak_per_mille: [40, 25, 20],
+            ..Rq1cConfig::default()
+        });
+        assert_eq!(r.by_location.len(), 3, "{:#?}", r.by_location);
+        assert!(r.individual_reports > 10, "{}", r.individual_reports);
+        assert!(r.requests_served > 100);
+        let sites: Vec<&str> =
+            r.by_location.keys().map(|(_, site)| site.as_str()).collect();
+        assert!(sites.contains(&"SendEmail:104"));
+        assert!(sites.contains(&"AuditLog:77"));
+        assert!(sites.contains(&"NotifyPeer:58"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration tests across the service crate's experiment harnesses.
+
+use golf_core::Session;
+use golf_detectors::{find_leaks, GoleakOptions};
+use golf_service::longrun::{run_longrun, LongRunConfig};
+use golf_service::table2::{run_scenario, Table2Config};
+use golf_service::testcorpus::{run_corpus, CorpusConfig};
+use golf_service::{boot_service, read_latencies, ServiceConfig};
+
+fn quick_service(leak: i64) -> ServiceConfig {
+    ServiceConfig {
+        connections: 6,
+        rpc_ticks: 15,
+        think_ticks: 4,
+        leak_per_mille: leak,
+        map_bytes: 5_000,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn goleak_confirms_what_golf_reclaims() {
+    // Run the same leaky service under report-only GOLF; at the end,
+    // GOLEAK's fair-filtered inventory must contain every goroutine GOLF
+    // reported (they are all still parked).
+    let (vm, _) = boot_service(&quick_service(200));
+    let mut session = Session::golf_report_only(vm);
+    session.run(2_000);
+    session.collect();
+    let reported: std::collections::HashSet<_> =
+        session.reports().iter().map(|r| r.gid).collect();
+    assert!(!reported.is_empty());
+    let goleak: std::collections::HashSet<_> =
+        find_leaks(session.vm(), GoleakOptions::default()).iter().map(|l| l.gid).collect();
+    assert!(
+        reported.is_subset(&goleak),
+        "GOLF ⊆ GOLEAK violated: {:?} vs {:?}",
+        reported,
+        goleak
+    );
+}
+
+#[test]
+fn scenario_metrics_are_internally_consistent() {
+    let config = Table2Config {
+        service: quick_service(100),
+        warmup_ticks: 300,
+        run_ticks: 2_000,
+        leak_rates: vec![100],
+        forced_gc_every: 500,
+    };
+    let golf = run_scenario(&config, 100, true);
+    assert!(golf.client.throughput_rps > 0.0);
+    // Percentiles are monotone.
+    let c = &golf.client;
+    assert!(c.p50 <= c.p90 && c.p90 <= c.p95 && c.p95 <= c.p99);
+    assert!(c.p99 <= c.p999 && c.p999 <= c.p99995 && c.p99995 <= c.max);
+    // GOLF's accounting: detected ≥ reclaimed, both positive at this rate.
+    assert!(golf.server.deadlocks_detected >= golf.server.deadlocks_reclaimed);
+    assert!(golf.server.deadlocks_reclaimed > 0);
+    assert_eq!(golf.server.blocked_goroutines, 0, "everything reclaimed by the final GC");
+}
+
+#[test]
+fn longrun_is_deterministic_per_seed() {
+    let config = LongRunConfig { days: 5, day_ticks: 500, samples_per_day: 5, ..LongRunConfig::default() };
+    let a = run_longrun(&config);
+    let b = run_longrun(&config);
+    assert_eq!(a.points(), b.points());
+}
+
+#[test]
+fn corpus_scales_with_package_count() {
+    let small = run_corpus(&CorpusConfig {
+        packages: 60,
+        visible_sites: 12,
+        invisible_sites: 12,
+        seed: 5,
+        ..CorpusConfig::default()
+    });
+    let large = run_corpus(&CorpusConfig {
+        packages: 240,
+        visible_sites: 12,
+        invisible_sites: 12,
+        seed: 5,
+        ..CorpusConfig::default()
+    });
+    assert!(large.tests_run > small.tests_run * 3);
+    assert!(large.goleak_total > small.goleak_total * 2);
+    // Dedup counts saturate at the pool size rather than growing.
+    assert!(large.goleak_dedup <= 24);
+    assert!(large.golf_dedup <= 12);
+    assert!(large.golf_dedup >= small.golf_dedup);
+}
+
+#[test]
+fn latencies_reflect_rpc_floor_and_gc_pauses() {
+    let (vm, globals) = boot_service(&quick_service(0));
+    let mut session = Session::baseline(vm);
+    session.charge_pauses(1_000_000);
+    session.run(1_500);
+    session.collect();
+    let lat = read_latencies(session.vm(), globals);
+    assert!(!lat.is_empty());
+    assert!(lat.iter().all(|&l| l >= 15.0), "RPC time is a latency floor");
+}

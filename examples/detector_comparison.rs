@@ -1,0 +1,96 @@
+//! Three detectors over one program: GOLF vs GOLEAK vs LEAKPROF.
+//!
+//! The program mixes one real leak (fan-out whose results are abandoned)
+//! with one *temporarily congested* channel that drains later. The
+//! comparison shows each tool's blind spot:
+//!
+//! * GOLF reports only the true deadlock — and can reclaim it;
+//! * GOLEAK (end of test) also reports only the true leak, but needs the
+//!   process to finish and cannot fix anything;
+//! * LEAKPROF flags *both* sites when sampled mid-congestion — its
+//!   threshold heuristic cannot tell a burst from a leak.
+//!
+//! Run with: `cargo run --example detector_comparison`
+
+use golf::core::Session;
+use golf::detectors::{find_leaks, GoleakOptions, LeakProf};
+use golf::runtime::{FuncBuilder, ProgramSet, Vm, VmConfig};
+
+fn build() -> ProgramSet {
+    let mut p = ProgramSet::new();
+    let leak_site = p.site("collect:leak");
+    let burst_site = p.site("burst:worker");
+
+    // The real leak: five workers send to a channel nobody drains.
+    let mut b = FuncBuilder::new("leak_worker", 1);
+    let ch = b.param(0);
+    let v = b.int(1);
+    b.send(ch, v);
+    b.ret(None);
+    let leak_worker = p.define(b);
+
+    // The burst: six workers pile up on a channel main drains later.
+    let mut b = FuncBuilder::new("burst_worker", 1);
+    let ch = b.param(0);
+    let v = b.int(2);
+    b.send(ch, v);
+    b.ret(None);
+    let burst_worker = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let dead = b.var("dead");
+    let busy = b.var("busy");
+    b.make_chan(dead, 0);
+    b.make_chan(busy, 0);
+    b.repeat(5, |b, _| b.go(leak_worker, &[dead], leak_site));
+    b.repeat(6, |b, _| b.go(burst_worker, &[busy], burst_site));
+    b.clear(dead); // the results channel is forgotten → real leak
+    b.sleep(100); // the congestion window LEAKPROF samples
+    b.repeat(6, |b, _| b.recv(busy, None)); // the burst drains fine
+    b.sleep(10);
+    b.gc();
+    b.ret(None);
+    p.define(b);
+    p
+}
+
+fn main() {
+    let mut session = Session::golf_report_only(Vm::boot(build(), VmConfig::default()));
+    let mut leakprof = LeakProf::new(4);
+
+    // Drive the program, letting LEAKPROF sample mid-run (as in production).
+    for _ in 0..6 {
+        session.run(20);
+        leakprof.observe(session.vm());
+    }
+    session.run(10_000);
+    session.collect();
+
+    println!("GOLF (sound, in production, can reclaim):");
+    for r in session.reports() {
+        println!("  partial deadlock at {} (spawned at {})", r.block_location, r.spawn_site.as_deref().unwrap_or("?"));
+    }
+
+    println!("\nGOLEAK (complete, test-time only):");
+    for l in find_leaks(session.vm(), GoleakOptions::default()) {
+        println!("  lingering goroutine {} at {}", l.gid, l.location);
+    }
+
+    println!("\nLEAKPROF (heuristic threshold = 4 blocked):");
+    for w in leakprof.warnings() {
+        println!(
+            "  suspicious blocking at {} (max concentration {})",
+            w.location, w.max_concentration
+        );
+    }
+
+    let golf_sites: Vec<_> =
+        session.reports().iter().filter_map(|r| r.spawn_site.clone()).collect();
+    assert!(golf_sites.iter().all(|s| s == "collect:leak"), "GOLF flags only the true leak");
+    assert!(
+        leakprof.warnings().len() >= 2,
+        "LEAKPROF also flags the burst: {:?}",
+        leakprof.warnings()
+    );
+    println!("\nOnly GOLF is both production-safe and false-positive-free.");
+}

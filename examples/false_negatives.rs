@@ -1,0 +1,116 @@
+//! GOLF's by-design false negatives (paper §4.3, Listings 4 & 5).
+//!
+//! Reachable liveness over-approximates semantic liveness, so two
+//! real-world patterns hide deadlocks from GOLF:
+//!
+//! 1. a **global channel** is intrinsically reachable, so a goroutine
+//!    blocked on it is always "reachably live";
+//! 2. a **runaway-live goroutine** (a heartbeat loop) keeps an object —
+//!    and the channel inside it — reachable forever.
+//!
+//! A GOLEAK-style end-of-test check still sees both leaks, which is why
+//! the paper positions the two tools as complementary.
+//!
+//! Run with: `cargo run --example false_negatives`
+
+use golf::core::Session;
+use golf::detectors::{find_leaks, GoleakOptions};
+use golf::runtime::{BinOp, FuncBuilder, ProgramSet, Vm, VmConfig};
+
+/// Listing 4: `var ch = make(chan int)` at package scope; the sender can
+/// never be unblocked once main stops using `ch`, but the global keeps it
+/// reachably live.
+fn listing4() -> ProgramSet {
+    let mut p = ProgramSet::new();
+    let global_ch = p.global("ch");
+    let site = p.site("main:59");
+
+    let mut b = FuncBuilder::new("sender", 0);
+    let ch = b.var("ch");
+    b.get_global(ch, global_ch);
+    let one = b.int(1);
+    b.send(ch, one);
+    b.ret(None);
+    let sender = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let ch = b.var("ch");
+    b.make_chan(ch, 0);
+    b.set_global(global_ch, ch);
+    b.clear(ch);
+    b.go(sender, &[], site);
+    b.sleep(20);
+    b.gc();
+    b.ret(None);
+    p.define(b);
+    p
+}
+
+/// Listing 5: the dispatcher's heartbeat goroutine increments `d.ticks`
+/// forever, keeping `d` — and `d.ch` — reachable; the goroutine blocked
+/// sending on `d.ch` is assumed live.
+fn listing5() -> ProgramSet {
+    let mut p = ProgramSet::new();
+    let disp_ty = p.struct_type("dispatcher", &["ch", "ticks"]);
+    let hb_site = p.site("newDispatcher:71");
+    let send_site = p.site("main:80");
+
+    let mut b = FuncBuilder::new("heartbeat", 1);
+    let d = b.param(0);
+    let t = b.var("t");
+    let one = b.int(1);
+    b.forever(|b| {
+        b.sleep(10);
+        b.get_field(t, d, 1);
+        b.bin(BinOp::Add, t, t, one);
+        b.set_field(d, 1, t);
+    });
+    let heartbeat = p.define(b);
+
+    let mut b = FuncBuilder::new("sender", 1);
+    let d = b.param(0);
+    let ch = b.var("ch");
+    b.get_field(ch, d, 0);
+    let v = b.int(1);
+    b.send(ch, v);
+    b.ret(None);
+    let sender = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let ch = b.var("ch");
+    let zero = b.int(0);
+    let d = b.var("d");
+    b.make_chan(ch, 0);
+    b.new_struct(disp_ty, &[ch, zero], d);
+    b.go(heartbeat, &[d], hb_site);
+    b.go(sender, &[d], send_site);
+    b.clear(ch);
+    b.clear(d);
+    b.sleep(30);
+    b.gc();
+    b.ret(None);
+    p.define(b);
+    p
+}
+
+fn run(name: &str, p: ProgramSet) {
+    let mut session = Session::golf(Vm::boot(p, VmConfig::default()));
+    session.run(10_000);
+    let goleak = find_leaks(session.vm(), GoleakOptions::default());
+    println!("== {name} ==");
+    println!("GOLF reports:   {} (false negative by design)", session.reports().len());
+    println!("GOLEAK reports: {} —", goleak.len());
+    for l in &goleak {
+        println!("  leaked goroutine {} at {} [{:?}]", l.gid, l.location, l.wait_reason.unwrap());
+    }
+    println!();
+    assert!(session.reports().is_empty());
+    assert!(!goleak.is_empty());
+}
+
+fn main() {
+    run("Listing 4 — global channel", listing4());
+    run("Listing 5 — runaway-live heartbeat", listing5());
+    println!("Both leaks are real; memory reachability just cannot prove it.");
+    println!("GOLEAK (end-of-test) still catches them: the tools are complementary.");
+}

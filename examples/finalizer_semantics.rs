@@ -1,0 +1,68 @@
+//! Preserving Go semantics around finalizers (paper §5.5, Listing 6).
+//!
+//! A deadlocked goroutine's stack reaches a slice with a finalizer that
+//! would divide by zero if it ever ran. The ordinary runtime never runs it
+//! (the goroutine never dies); a naive reclaimer would. GOLF detects the
+//! deadlock, reports it once, but *preserves* the goroutine forever so the
+//! finalizer stays dormant — observable behaviour is unchanged.
+//!
+//! Run with: `cargo run --example finalizer_semantics`
+
+use golf::core::{preserved_goroutines, Session};
+use golf::runtime::{FuncBuilder, GStatus, ProgramSet, Value, Vm, VmConfig};
+
+fn main() {
+    let mut p = ProgramSet::new();
+    let finalizer_ran = p.global("finalizer_ran");
+    let site = p.site("PrintAverage:86");
+
+    // runtime.SetFinalizer(&vs, func(vs *[]int) { fmt.Println(sum/len) })
+    // — division by zero on an empty slice.
+    let mut b = FuncBuilder::new("printAverage", 1);
+    let one = b.int(1);
+    b.set_global(finalizer_ran, one);
+    b.ret(None);
+    let finalizer = p.define(b);
+
+    // go func() { var vs []int; SetFinalizer(&vs, ...); vs = <-ch }()
+    let mut b = FuncBuilder::new("worker", 1);
+    let ch = b.param(0);
+    let vs = b.var("vs");
+    b.new_slice(vs);
+    b.set_finalizer(vs, finalizer);
+    b.recv(ch, None); // deadlocks: the caller never uses the channel
+    b.ret(None);
+    let worker = p.define(b);
+
+    // Callers of PrintAverage neglect the returned channel.
+    let mut b = FuncBuilder::new("main", 0);
+    let ch = b.var("ch");
+    b.make_chan(ch, 0);
+    b.go(worker, &[ch], site);
+    b.clear(ch);
+    b.sleep(20);
+    b.gc();
+    b.sleep(10);
+    b.gc(); // a second cycle: the report must not repeat
+    b.ret(None);
+    p.define(b);
+
+    let mut session = Session::golf(Vm::boot(p, VmConfig::default()));
+    session.run(10_000);
+
+    println!("reports: {} (exactly one, despite two GC cycles)", session.reports().len());
+    for r in session.reports() {
+        print!("{r}");
+    }
+    let preserved = preserved_goroutines(session.vm());
+    println!("\npreserved goroutines: {:?}", preserved);
+    let g = session.vm().goroutine(preserved[0]).unwrap();
+    println!("status: {:?} (kept alive forever; its memory is never swept)", g.status);
+    println!(
+        "finalizer ran: {} (must be nil — reclaiming would have invoked it)",
+        session.vm().global(finalizer_ran)
+    );
+    assert_eq!(session.reports().len(), 1);
+    assert_eq!(g.status, GStatus::Deadlocked);
+    assert_eq!(session.vm().global(finalizer_ran), Value::Nil);
+}

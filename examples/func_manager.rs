@@ -1,0 +1,98 @@
+//! The paper's motivating example (Listing 3): `NewFuncManager` spawns two
+//! goroutines ranging over embedded channels; only `WaitForResults` closes
+//! them. `ConcurrentTask` has an early-return path that skips the call —
+//! the implicit contract is broken and both goroutines deadlock.
+//!
+//! We run both paths and show GOLF reporting the buggy one only.
+//!
+//! Run with: `cargo run --example func_manager`
+
+use golf::core::Session;
+use golf::runtime::{FuncBuilder, FuncId, ProgramSet, Vm, VmConfig};
+
+/// Builds the program; `buggy` selects ConcurrentTask's early-return path
+/// (the condition on the paper's line 51).
+fn build(buggy: bool) -> ProgramSet {
+    let mut p = ProgramSet::new();
+    let gfm_ty = p.struct_type("goFuncManager", &["e", "d"]);
+    let site_e = p.site("NewFuncManager:34");
+    let site_d = p.site("NewFuncManager:37");
+
+    // go func() { for err := range gfm.e { ... } }()
+    let mut b = FuncBuilder::new("ranger", 1);
+    let ch = b.param(0);
+    let item = b.var("item");
+    b.range_chan(ch, item, |_| {});
+    b.ret(None);
+    let ranger = p.define(b);
+
+    // func NewFuncManager() GoFuncManager
+    let mut b = FuncBuilder::new("NewFuncManager", 0);
+    let e = b.var("e");
+    let d = b.var("d");
+    let gfm = b.var("gfm");
+    b.make_chan(e, 0);
+    b.make_chan(d, 0);
+    b.new_struct(gfm_ty, &[e, d], gfm);
+    b.go(ranger, &[e], site_e);
+    b.go(ranger, &[d], site_d);
+    b.ret(Some(gfm));
+    let new_fm: FuncId = p.define(b);
+
+    // func (gfm *goFuncManager) WaitForResults() { close(gfm.e); close(gfm.d) }
+    let mut b = FuncBuilder::new("WaitForResults", 1);
+    let gfm = b.param(0);
+    let ch = b.var("ch");
+    b.get_field(ch, gfm, 0);
+    b.close_chan(ch);
+    b.get_field(ch, gfm, 1);
+    b.close_chan(ch);
+    b.ret(None);
+    let wait = p.define(b);
+
+    // func ConcurrentTask() {
+    //   gfm := NewFuncManager()
+    //   if ... { return }            // the buggy path
+    //   gfm.WaitForResults()
+    // }
+    let mut b = FuncBuilder::new("ConcurrentTask", 0);
+    let gfm = b.var("gfm");
+    b.call(new_fm, &[], Some(gfm));
+    if !buggy {
+        b.call(wait, &[gfm], None);
+    }
+    b.ret(None);
+    let task = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    b.call(task, &[], None);
+    b.sleep(20);
+    b.gc();
+    b.ret(None);
+    p.define(b);
+    p
+}
+
+fn run(buggy: bool) {
+    let label = if buggy { "buggy (early return skips WaitForResults)" } else { "correct" };
+    let mut session = Session::golf(Vm::boot(build(buggy), VmConfig::default()));
+    session.run(10_000);
+    println!("== ConcurrentTask, {label} ==");
+    if session.reports().is_empty() {
+        println!("no partial deadlocks.\n");
+    } else {
+        for report in session.reports() {
+            print!("{report}");
+        }
+        println!(
+            "memory reclaimed: {} goroutines shut down, heap now {} objects\n",
+            session.gc_totals().deadlocks_reclaimed,
+            session.vm().heap().len(),
+        );
+    }
+}
+
+fn main() {
+    run(false);
+    run(true);
+}

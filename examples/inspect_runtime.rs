@@ -1,0 +1,73 @@
+//! Runtime introspection tools: disassemble a guest program and dump the
+//! goroutine state mid-leak — the workflow for diagnosing a report by hand.
+//!
+//! Run with: `cargo run --example inspect_runtime`
+
+use golf::core::{GcEngine, GcMode, GolfConfig};
+use golf::runtime::stdlib::ContextLib;
+use golf::runtime::{FuncBuilder, ProgramSet, SelectSpec, Vm, VmConfig};
+
+fn build() -> ProgramSet {
+    let mut p = ProgramSet::new();
+    let lib = ContextLib::install(&mut p);
+    let site = p.site("startWorker:17");
+
+    // worker(ctx, work): for { select { <-ctx.Done(): return; <-work: } }
+    let mut b = FuncBuilder::new("worker", 2);
+    let ctx = b.param(0);
+    let work = b.param(1);
+    let done = b.var("done");
+    lib.done(&mut b, done, ctx);
+    let l_done = b.label();
+    let l_work = b.label();
+    let top = b.label();
+    b.bind(top);
+    b.select(SelectSpec::new().recv(done, None, l_done).recv(work, None, l_work));
+    b.bind(l_work);
+    b.jump(top);
+    b.bind(l_done);
+    b.ret(None);
+    let worker = p.define(b);
+
+    // main: ctx, _ := context.WithCancel(bg); go worker(ctx, work)
+    //       // defer cancel() forgotten
+    let mut b = FuncBuilder::new("main", 0);
+    let root = b.var("root");
+    lib.background(&mut b, root);
+    let ctx = b.var("ctx");
+    lib.with_cancel(&mut b, ctx, root);
+    let work = b.var("work");
+    b.make_chan(work, 1);
+    b.go(worker, &[ctx, work], site);
+    let v = b.int(1);
+    b.send(work, v);
+    b.clear(ctx);
+    b.clear(work);
+    b.clear(root);
+    b.sleep(1_000_000);
+    p.define(b);
+    p
+}
+
+fn main() {
+    let p = build();
+
+    println!("=== disassembly ===\n{}", p.disassemble());
+
+    let mut vm = Vm::boot(p, VmConfig::default());
+    vm.run(100);
+
+    println!("=== goroutine dump (mid-leak) ===\n{}", vm.dump_state());
+
+    let mut gc = GcEngine::new(
+        GcMode::Golf,
+        GolfConfig { reclaim: false, ..GolfConfig::default() },
+    );
+    let stats = gc.collect(&mut vm);
+    println!("=== gctrace ===\n{stats}\n");
+    println!("=== reports ===");
+    for r in gc.reports() {
+        print!("{r}");
+    }
+    assert_eq!(gc.reports().len(), 1, "the forgotten-cancel worker");
+}

@@ -1,0 +1,64 @@
+//! Liveness hints (the paper's §8 future work): a static analysis tells
+//! the collector that a reference is *inert* — never used to unblock
+//! anyone — and the previously invisible deadlocks of Listings 4 and 5
+//! become detectable.
+//!
+//! Run with: `cargo run --example liveness_hints`
+
+use golf::core::{GcEngine, LivenessHint};
+use golf::runtime::{FuncBuilder, ProgramSet, Vm, VmConfig};
+
+fn main() {
+    // Listing 4: `var ch = make(chan int)` at package scope. The last send
+    // on `ch` is long gone, but the global keeps it — and the goroutine
+    // blocked on it — reachably live.
+    let mut p = ProgramSet::new();
+    let global_ch = p.global("ch");
+    let site = p.site("main:59");
+
+    let mut b = FuncBuilder::new("sender", 0);
+    let ch = b.var("ch");
+    b.get_global(ch, global_ch);
+    let one = b.int(1);
+    b.send(ch, one);
+    b.ret(None);
+    let sender = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let ch = b.var("ch");
+    b.make_chan(ch, 0);
+    b.set_global(global_ch, ch);
+    b.clear(ch);
+    b.go(sender, &[], site);
+    b.sleep(1_000_000); // the service keeps running
+    p.define(b);
+
+    let mut vm = Vm::boot(p, VmConfig::default());
+    vm.run(200);
+
+    // Plain GOLF: false negative.
+    let mut gc = GcEngine::golf();
+    gc.collect(&mut vm);
+    println!("without hints: {} reports (the global shields the leak)", gc.reports().len());
+
+    // A static analysis proves nothing ever sends through `ch` again and
+    // emits an inert-global hint.
+    let mut gc = GcEngine::golf();
+    gc.add_liveness_hint(LivenessHint::InertGlobal(global_ch));
+    gc.collect(&mut vm);
+    println!("with InertGlobal hint: {} report(s) —", gc.reports().len());
+    for r in gc.reports() {
+        print!("{r}");
+    }
+    // Memory safety: the channel itself is still on the heap (the global
+    // references it); only the provably-dead goroutine was reclaimed.
+    let ch = vm.global(global_ch).as_ref_handle().unwrap();
+    println!(
+        "\nchannel still on heap: {} | blocked goroutines left: {}",
+        vm.heap().contains(ch),
+        vm.blocked_count(),
+    );
+    assert_eq!(gc.reports().len(), 1);
+    assert!(vm.heap().contains(ch));
+    assert_eq!(vm.blocked_count(), 0);
+}
