@@ -25,9 +25,21 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
     let configs: Vec<(&str, GcMode, GolfConfig)> = vec![
         ("baseline", GcMode::Baseline, GolfConfig::default()),
-        ("golf_every1", GcMode::Golf, GolfConfig { detect_every: 1, reclaim: true, ..GolfConfig::default() }),
-        ("golf_every10", GcMode::Golf, GolfConfig { detect_every: 10, reclaim: true, ..GolfConfig::default() }),
-        ("golf_report_only", GcMode::Golf, GolfConfig { detect_every: 1, reclaim: false, ..GolfConfig::default() }),
+        (
+            "golf_every1",
+            GcMode::Golf,
+            GolfConfig { detect_every: 1, reclaim: true, ..GolfConfig::default() },
+        ),
+        (
+            "golf_every10",
+            GcMode::Golf,
+            GolfConfig { detect_every: 10, reclaim: true, ..GolfConfig::default() },
+        ),
+        (
+            "golf_report_only",
+            GcMode::Golf,
+            GolfConfig { detect_every: 1, reclaim: false, ..GolfConfig::default() },
+        ),
         (
             "golf_from_marked",
             GcMode::Golf,
@@ -47,12 +59,8 @@ fn bench_ablation(c: &mut Criterion) {
                 |bench, &leak| {
                     bench.iter_batched(
                         || {
-                            let mut s = Session::new(
-                                service_vm(leak),
-                                mode,
-                                golf,
-                                PacerConfig::default(),
-                            );
+                            let mut s =
+                                Session::new(service_vm(leak), mode, golf, PacerConfig::default());
                             s.engine_mut().set_keep_history(false);
                             s
                         },

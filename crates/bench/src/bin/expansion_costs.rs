@@ -60,7 +60,13 @@ fn main() {
 
     println!("Root-expansion strategy costs on an n-link daisy chain + n orphans (§5.3)\n");
     let mut t = Table::new(vec![
-        "n", "strategy", "iterations", "liveness checks", "traversals", "mark µs", "detected",
+        "n",
+        "strategy",
+        "iterations",
+        "liveness checks",
+        "traversals",
+        "mark µs",
+        "detected",
     ]);
     for i in 2..7 {
         t.align(i, Align::Right);

@@ -37,10 +37,7 @@ fn main() {
         100.0 * r.golf_dedup as f64 / r.goleak_dedup.max(1) as f64,
     );
     println!();
-    println!(
-        "area under the ratio curve: {:.0}%   (paper: 82%)",
-        100.0 * r.auc
-    );
+    println!("area under the ratio curve: {:.0}%   (paper: 82%)", 100.0 * r.auc);
     println!(
         "reports where GOLF finds everything GOLEAK finds: {} of {} ({:.0}%)   (paper: 103 of 180, 55%)",
         r.fully_caught,

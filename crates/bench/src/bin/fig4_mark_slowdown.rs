@@ -79,13 +79,19 @@ fn main() {
     }
 
     if let Some(path) = arg_value(&args, "--csv") {
-        let mut csv =
-            String::from("name,buggy,mark_clock_off_us,mark_clock_on_us,slowdown,cycles_off,cycles_on\n");
+        let mut csv = String::from(
+            "name,buggy,mark_clock_off_us,mark_clock_on_us,slowdown,cycles_off,cycles_on\n",
+        );
         for r in &rows {
             csv.push_str(&format!(
                 "{},{},{:.3},{:.3},{:.4},{},{}\n",
-                r.name, r.buggy, r.baseline_mark_us, r.golf_mark_us, r.slowdown,
-                r.baseline_cycles, r.golf_cycles
+                r.name,
+                r.buggy,
+                r.baseline_mark_us,
+                r.golf_mark_us,
+                r.slowdown,
+                r.baseline_cycles,
+                r.golf_cycles
             ));
         }
         std::fs::write(&path, csv).expect("write csv");

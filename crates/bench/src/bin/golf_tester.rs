@@ -7,11 +7,12 @@
 //!
 //! | artifact flag       | here                                  |
 //! |---------------------|---------------------------------------|
-//! | `-match <regex>`    | `--match <substring>`                 |
+//! | `-match <regex>`    | `--match <substring>` (`-` ≡ `_`)     |
 //! | `-repeats <n>`      | `--repeats <n>`                       |
 //! | `-report <path>`    | `--report <path>` (coverage table)    |
 //! | `-perf`             | `--perf` (Mark clock ON/OFF CSV)      |
 //! | (GOMAXPROCS sweep)  | `--procs 1,2,4,10`                    |
+//! | (no equivalent)     | `--trace <path>` (JSONL event trace)  |
 //!
 //! ```text
 //! cargo run --release -p golf-bench --bin golf_tester -- \
@@ -20,6 +21,7 @@
 
 use golf_bench::{arg_value, parse_list};
 use golf_micro::{corpus, run_perf_comparison, PerfSettings, Table1Config};
+use golf_trace::SharedJsonlSink;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -28,8 +30,17 @@ fn main() {
     let pattern = arg_value(&args, "--match");
     let report_path = arg_value(&args, "--report");
     let perf_mode = args.iter().any(|a| a == "--perf");
+    let trace = arg_value(&args, "--trace").map(|path| {
+        let sink = SharedJsonlSink::create(&path)
+            .unwrap_or_else(|e| panic!("golf-tester: cannot create trace file {path}: {e}"));
+        eprintln!("golf-tester: streaming trace to {path}");
+        sink
+    });
 
     if perf_mode {
+        if trace.is_some() {
+            eprintln!("golf-tester: --trace is ignored in --perf mode (it would skew timings)");
+        }
         // Performance mode: the artifact's results-perf.csv, with baseline
         // (OFF) and GOLF (ON) mark-clock columns.
         eprintln!("golf-tester: performance mode ({repeats} repeats)…");
@@ -43,7 +54,11 @@ fn main() {
         for r in &rows {
             csv.push_str(&format!(
                 "{},{:.3},{:.3},{:.4},{},{}\n",
-                r.name, r.baseline_mark_us, r.golf_mark_us, r.slowdown, r.baseline_cycles,
+                r.name,
+                r.baseline_mark_us,
+                r.golf_mark_us,
+                r.slowdown,
+                r.baseline_cycles,
                 r.golf_cycles
             ));
         }
@@ -60,7 +75,11 @@ fn main() {
     // Coverage mode: the artifact's ./results report.
     let mut benchmarks = corpus();
     if let Some(pat) = &pattern {
-        benchmarks.retain(|b| b.name.contains(pat.as_str()));
+        benchmarks.retain(|b| b.matches(pat));
+        if benchmarks.is_empty() {
+            eprintln!("golf-tester: no benchmarks match {pat:?}");
+            std::process::exit(2);
+        }
     }
     eprintln!(
         "golf-tester: coverage mode — {} benchmarks, {} repeats x {:?} cores…",
@@ -70,7 +89,7 @@ fn main() {
     );
     let table = golf_micro::run_table1_on(
         &benchmarks,
-        &Table1Config { procs, runs: repeats, ..Table1Config::default() },
+        &Table1Config { procs, runs: repeats, trace, ..Table1Config::default() },
     );
 
     let mut out = table.render();

@@ -30,7 +30,10 @@ fn main() {
     let r = run_rq1c(&config);
     eprintln!("rq1c: done in {:.1}s", start.elapsed().as_secs_f64());
 
-    println!("RQ1(c) — GOLF on a real service ({} instances, {} h)\n", config.instances, config.hours);
+    println!(
+        "RQ1(c) — GOLF on a real service ({} instances, {} h)\n",
+        config.instances, config.hours
+    );
     println!("requests served:              {:>8}", r.requests_served);
     println!("individual partial deadlocks: {:>8}   (paper: 252 over 24 h)", r.individual_reports);
     println!("distinct programming errors:  {:>8}   (paper: 3)\n", r.by_location.len());

@@ -8,7 +8,8 @@
 //! ```
 //!
 //! `--quick` trades statistical resolution for a fast smoke run (Table 1 at
-//! 10 repetitions instead of 100, shorter service windows).
+//! 10 repetitions instead of 100, shorter service windows). `--trace <path>`
+//! streams a structured JSONL execution trace of the Table 1 sweep.
 
 use golf_bench::arg_value;
 use golf_metrics::BoxPlot;
@@ -31,6 +32,12 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out = arg_value(&args, "--out").unwrap_or_else(|| "results".into());
     let quick = args.iter().any(|a| a == "--quick");
+    let trace = arg_value(&args, "--trace").map(|path| {
+        let sink = golf_trace::SharedJsonlSink::create(&path)
+            .unwrap_or_else(|e| panic!("run_all: cannot create trace file {path}: {e}"));
+        eprintln!("run_all: streaming Table 1 trace to {path}");
+        sink
+    });
     let dir = Path::new(&out);
     std::fs::create_dir_all(dir).expect("create results dir");
     let t0 = std::time::Instant::now();
@@ -39,6 +46,7 @@ fn main() {
     eprintln!("run_all: Table 1 (RQ1a)…");
     let table1 = run_table1(&Table1Config {
         runs: if quick { 10 } else { 100 },
+        trace,
         ..Table1Config::default()
     });
     let mut s = table1.render();
@@ -56,9 +64,16 @@ fn main() {
         ..CorpusConfig::default()
     });
     let mut s = String::new();
-    let _ = writeln!(s, "GOLEAK: {} individual / {} dedup", corpus.goleak_total, corpus.goleak_dedup);
+    let _ =
+        writeln!(s, "GOLEAK: {} individual / {} dedup", corpus.goleak_total, corpus.goleak_dedup);
     let _ = writeln!(s, "GOLF:   {} individual / {} dedup", corpus.golf_total, corpus.golf_dedup);
-    let _ = writeln!(s, "AUC: {:.0}%   fully caught: {} / {}", corpus.auc * 100.0, corpus.fully_caught, corpus.golf_dedup);
+    let _ = writeln!(
+        s,
+        "AUC: {:.0}%   fully caught: {} / {}",
+        corpus.auc * 100.0,
+        corpus.fully_caught,
+        corpus.golf_dedup
+    );
     let _ = writeln!(s, "\nratio curve (sorted):");
     for (i, r) in corpus.ratio_curve.iter().enumerate() {
         let _ = writeln!(s, "{},{:.4}", i + 1, r);
@@ -67,10 +82,7 @@ fn main() {
 
     // -- RQ1(c) -------------------------------------------------------------
     eprintln!("run_all: RQ1(c) deployment…");
-    let rq1c = run_rq1c(&Rq1cConfig {
-        hours: if quick { 6 } else { 24 },
-        ..Rq1cConfig::default()
-    });
+    let rq1c = run_rq1c(&Rq1cConfig { hours: if quick { 6 } else { 24 }, ..Rq1cConfig::default() });
     let mut s = String::new();
     let _ = writeln!(s, "individual partial deadlocks: {} (paper: 252)", rq1c.individual_reports);
     let _ = writeln!(s, "distinct errors: {} (paper: 3)", rq1c.by_location.len());
@@ -86,13 +98,12 @@ fn main() {
         ..Table2Config::default()
     });
     save(dir, "table2.txt", &table2.render());
+    save(dir, "table2_metrics.txt", &table2.metrics().to_string());
 
     // -- Table 3 -------------------------------------------------------------
     eprintln!("run_all: Table 3 (production-like)…");
-    let prod_config = ProductionConfig {
-        windows: if quick { 40 } else { 160 },
-        ..ProductionConfig::default()
-    };
+    let prod_config =
+        ProductionConfig { windows: if quick { 40 } else { 160 }, ..ProductionConfig::default() };
     let base = run_production(&prod_config, false);
     let golf = run_production(&prod_config, true);
     save(dir, "table3.txt", &render_table3(&base, &golf));
@@ -103,8 +114,18 @@ fn main() {
     let baseline = run_longrun(&lr_config);
     let with_golf = run_longrun(&LongRunConfig { golf: true, ..lr_config.clone() });
     let mut s = String::new();
-    let _ = writeln!(s, "baseline  max {:>5.0}  {}", baseline.max().unwrap_or(0.0), sparkline(&baseline, 84));
-    let _ = writeln!(s, "with GOLF max {:>5.0}  {}", with_golf.max().unwrap_or(0.0), sparkline(&with_golf, 84));
+    let _ = writeln!(
+        s,
+        "baseline  max {:>5.0}  {}",
+        baseline.max().unwrap_or(0.0),
+        sparkline(&baseline, 84)
+    );
+    let _ = writeln!(
+        s,
+        "with GOLF max {:>5.0}  {}",
+        with_golf.max().unwrap_or(0.0),
+        sparkline(&with_golf, 84)
+    );
     s.push_str("\nbaseline series CSV:\n");
     s.push_str(&baseline.to_csv());
     save(dir, "fig1.txt", &s);

@@ -3,13 +3,19 @@
 //! and sweeping. This module is the reproduction of the paper's §4.2/§5.
 
 use crate::config::{ExpansionStrategy, GcMode, GolfConfig};
+use crate::forensics;
 use crate::hints::LivenessHint;
 use crate::mark::Marker;
 use crate::report::DeadlockReport;
 use crate::stats::{GcCycleStats, GcTotals, PhaseEvent};
 use golf_runtime::{GStatus, Gid, Value, Vm};
+use golf_trace::{GoId, TraceEvent};
 use std::collections::HashSet;
 use std::time::Instant;
+
+fn go_id(gid: Gid) -> GoId {
+    GoId::new(gid.index(), gid.generation())
+}
 
 /// The collector: owns mode, configuration, cumulative statistics, cycle
 /// history and the accumulated deadlock reports.
@@ -132,11 +138,11 @@ impl GcEngine {
     pub fn collect(&mut self, vm: &mut Vm) -> GcCycleStats {
         let pause_start = Instant::now();
         let cycle_no = self.totals.num_gc + 1;
-        let detection =
-            self.mode == GcMode::Golf
+        let detection = self.mode == GcMode::Golf
             && (cycle_no - 1).is_multiple_of(u64::from(self.golf.detect_every));
 
-        let mut stats = GcCycleStats { cycle: cycle_no, golf_detection: detection, ..Default::default() };
+        let mut stats =
+            GcCycleStats { cycle: cycle_no, golf_detection: detection, ..Default::default() };
 
         // ---- Initialization ----
         vm.heap_mut().clear_marks();
@@ -192,11 +198,12 @@ impl GcEngine {
                 goroutine_roots += 1;
             }
         }
-        stats
-            .phases
-            .push(PhaseEvent::RootsPrepared { goroutine_roots, restricted: detection });
+        stats.phases.push(PhaseEvent::RootsPrepared { goroutine_roots, restricted: detection });
 
         // ---- Iterative marking to the reachable-liveness fixed point ----
+        if vm.trace_enabled() {
+            vm.trace_emit(TraceEvent::GcPhaseBegin { cycle: cycle_no, phase: "mark" });
+        }
         let mark_start = Instant::now();
         if detection && self.golf.expansion == ExpansionStrategy::Incremental {
             // §5.3's furthest variant: expand the root set *during* marking.
@@ -234,8 +241,7 @@ impl GcEngine {
                     if in_roots.contains(&gid) || inert_gids.contains(&gid) {
                         continue;
                     }
-                    let candidate =
-                        vm.goroutine(gid).is_some_and(|g| g.deadlock_candidate());
+                    let candidate = vm.goroutine(gid).is_some_and(|g| g.deadlock_candidate());
                     if candidate {
                         in_roots.insert(gid);
                         if let Some(g) = vm.goroutine(gid) {
@@ -252,91 +258,103 @@ impl GcEngine {
                 newly_marked: stats.objects_marked,
             });
         } else {
-        loop {
-            stats.mark_iterations += 1;
-            let newly = marker.drain(vm.heap_mut());
-            stats
-                .phases
-                .push(PhaseEvent::MarkIteration { iteration: stats.mark_iterations, newly_marked: newly });
-            if !detection {
-                break;
-            }
-            // Root expansion (paper §4.2 step 3): a blocked goroutine whose
-            // B(g) intersects the marked heap is reachably live.
-            let mut added: Vec<Gid> = Vec::new();
-            match self.golf.expansion {
-                // Incremental expansion happens inside the single-pass
-                // marking loop above; unreachable here.
-                ExpansionStrategy::Incremental => unreachable!("handled by the single-pass loop"),
-                ExpansionStrategy::Rescan => {
-                    for g in vm.live_goroutines() {
-                        if in_roots.contains(&g.id)
-                            || inert_gids.contains(&g.id)
-                            || !g.deadlock_candidate()
-                        {
-                            continue;
-                        }
-                        let mut live = false;
-                        for &o in g.blocked.handles() {
-                            stats.liveness_checks += 1;
-                            // `is_marked` is false for stale handles too; all
-                            // our concurrency objects are heap-tracked, so
-                            // there is no "not on the heap ⇒ conservatively
-                            // reachable" case (globals are heap objects
-                            // reached via the root scan).
-                            if vm.heap().is_marked(o) {
-                                live = true;
-                                break;
-                            }
-                        }
-                        if live {
-                            added.push(g.id);
-                        }
-                    }
+            loop {
+                stats.mark_iterations += 1;
+                let newly = marker.drain(vm.heap_mut());
+                stats.phases.push(PhaseEvent::MarkIteration {
+                    iteration: stats.mark_iterations,
+                    newly_marked: newly,
+                });
+                if !detection {
+                    break;
                 }
-                ExpansionStrategy::FromMarked => {
-                    // §5.3: only the wait queues of objects marked in the
-                    // last iteration can yield newly-live goroutines.
-                    for h in marker.take_newly_marked() {
-                        for gid in vm.waiters_on(h) {
-                            stats.liveness_checks += 1;
-                            if in_roots.contains(&gid)
-                                || inert_gids.contains(&gid)
-                                || added.contains(&gid)
+                // Root expansion (paper §4.2 step 3): a blocked goroutine whose
+                // B(g) intersects the marked heap is reachably live.
+                let mut added: Vec<Gid> = Vec::new();
+                match self.golf.expansion {
+                    // Incremental expansion happens inside the single-pass
+                    // marking loop above; unreachable here.
+                    ExpansionStrategy::Incremental => {
+                        unreachable!("handled by the single-pass loop")
+                    }
+                    ExpansionStrategy::Rescan => {
+                        for g in vm.live_goroutines() {
+                            if in_roots.contains(&g.id)
+                                || inert_gids.contains(&g.id)
+                                || !g.deadlock_candidate()
                             {
                                 continue;
                             }
-                            let candidate = vm
-                                .goroutine(gid)
-                                .is_some_and(|g| g.deadlock_candidate());
-                            if candidate {
-                                added.push(gid);
+                            let mut live = false;
+                            for &o in g.blocked.handles() {
+                                stats.liveness_checks += 1;
+                                // `is_marked` is false for stale handles too; all
+                                // our concurrency objects are heap-tracked, so
+                                // there is no "not on the heap ⇒ conservatively
+                                // reachable" case (globals are heap objects
+                                // reached via the root scan).
+                                if vm.heap().is_marked(o) {
+                                    live = true;
+                                    break;
+                                }
+                            }
+                            if live {
+                                added.push(g.id);
+                            }
+                        }
+                    }
+                    ExpansionStrategy::FromMarked => {
+                        // §5.3: only the wait queues of objects marked in the
+                        // last iteration can yield newly-live goroutines.
+                        for h in marker.take_newly_marked() {
+                            for gid in vm.waiters_on(h) {
+                                stats.liveness_checks += 1;
+                                if in_roots.contains(&gid)
+                                    || inert_gids.contains(&gid)
+                                    || added.contains(&gid)
+                                {
+                                    continue;
+                                }
+                                let candidate =
+                                    vm.goroutine(gid).is_some_and(|g| g.deadlock_candidate());
+                                if candidate {
+                                    added.push(gid);
+                                }
                             }
                         }
                     }
                 }
-            }
-            if added.is_empty() {
-                break;
-            }
-            for gid in &added {
-                in_roots.insert(*gid);
-                if let Some(g) = vm.goroutine(*gid) {
-                    for h in g.stack_roots() {
-                        marker.push_root(h);
+                if added.is_empty() {
+                    break;
+                }
+                for gid in &added {
+                    in_roots.insert(*gid);
+                    if let Some(g) = vm.goroutine(*gid) {
+                        for h in g.stack_roots() {
+                            marker.push_root(h);
+                        }
                     }
                 }
+                stats.phases.push(PhaseEvent::RootExpansion { goroutines_added: added.len() });
             }
-            stats.phases.push(PhaseEvent::RootExpansion { goroutines_added: added.len() });
-        }
-        stats.objects_marked = marker.marked;
-        stats.pointer_traversals = marker.traversals;
+            stats.objects_marked = marker.marked;
+            stats.pointer_traversals = marker.traversals;
         }
         stats.mark_ns = mark_start.elapsed().as_nanos() as u64;
         stats.phases.push(PhaseEvent::MarkDone);
+        if vm.trace_enabled() {
+            vm.trace_emit(TraceEvent::GcPhaseEnd {
+                cycle: cycle_no,
+                phase: "mark",
+                count: stats.objects_marked,
+            });
+        }
 
         // ---- Deadlock detection & recovery ----
         if detection {
+            if vm.trace_enabled() {
+                vm.trace_emit(TraceEvent::GcPhaseBegin { cycle: cycle_no, phase: "detect" });
+            }
             let deadlocked: Vec<Gid> = vm
                 .live_goroutines()
                 .filter(|g| {
@@ -347,19 +365,45 @@ impl GcEngine {
                 .map(|g| g.id)
                 .collect();
 
+            // Forensics snapshot: render the wait-for graph while this
+            // cycle's mark bits are still valid (pre-sweep).
+            let wait_for_dot = if deadlocked.is_empty() {
+                String::new()
+            } else {
+                let set: HashSet<Gid> = deadlocked.iter().copied().collect();
+                forensics::wait_for_graph_dot(vm, &set)
+            };
+
             let mut new_reports = 0usize;
             for &gid in &deadlocked {
                 let already = vm.goroutine(gid).is_some_and(|g| g.reported_deadlocked);
                 if already {
                     continue;
                 }
-                let report = self.build_report(vm, gid, cycle_no);
+                let mut report = self.build_report(vm, gid, cycle_no);
+                report.recent_events =
+                    forensics::flight_tail(vm, gid, forensics::DEFAULT_FORENSIC_TAIL);
+                report.wait_for_dot = wait_for_dot.clone();
+                if vm.trace_enabled() {
+                    vm.trace_emit(TraceEvent::DeadlockDetected {
+                        gid: go_id(gid),
+                        reason: report.wait_reason.as_str(),
+                        location: report.block_location.clone(),
+                    });
+                }
                 self.reports.push(report);
                 vm.set_reported(gid);
                 new_reports += 1;
             }
             stats.deadlocks_detected = new_reports;
             stats.phases.push(PhaseEvent::DeadlocksDetected { count: new_reports });
+            if vm.trace_enabled() {
+                vm.trace_emit(TraceEvent::GcPhaseEnd {
+                    cycle: cycle_no,
+                    phase: "detect",
+                    count: new_reports as u64,
+                });
+            }
 
             if self.golf.reclaim {
                 let mut reclaimed = 0usize;
@@ -416,6 +460,9 @@ impl GcEngine {
         }
 
         // ---- Sweep ----
+        if vm.trace_enabled() {
+            vm.trace_emit(TraceEvent::GcPhaseBegin { cycle: cycle_no, phase: "sweep" });
+        }
         let outcome = vm.heap_mut().sweep_unmarked();
         stats.swept_objects = outcome.reclaimed_objects;
         stats.swept_bytes = outcome.reclaimed_bytes;
@@ -428,6 +475,13 @@ impl GcEngine {
         stats
             .phases
             .push(PhaseEvent::Sweep { objects: stats.swept_objects, bytes: stats.swept_bytes });
+        if vm.trace_enabled() {
+            vm.trace_emit(TraceEvent::GcPhaseEnd {
+                cycle: cycle_no,
+                phase: "sweep",
+                count: stats.swept_objects,
+            });
+        }
         vm.heap_mut().reset_alloc_window();
 
         stats.live_bytes_after = vm.heap().stats().heap_alloc_bytes;
@@ -466,6 +520,8 @@ impl GcEngine {
             stack,
             cycle,
             tick: vm.now(),
+            recent_events: Vec::new(),
+            wait_for_dot: String::new(),
         }
     }
 

@@ -64,6 +64,7 @@
 
 mod config;
 mod cycle;
+pub mod forensics;
 mod hints;
 mod mark;
 pub mod oracle;

@@ -10,8 +10,8 @@
 //! use this as the ground truth against the collector on randomly generated
 //! programs.
 
-use golf_runtime::{Gid, Vm};
 use golf_heap::{Handle, Trace};
+use golf_runtime::{Gid, Vm};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// The oracle's verdict.

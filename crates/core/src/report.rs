@@ -28,14 +28,30 @@ pub struct DeadlockReport {
     pub cycle: u64,
     /// Scheduler tick at detection time.
     pub tick: u64,
+    /// Rendered flight-recorder events concerning this goroutine, oldest
+    /// first — what it did right before (and while) deadlocking. Empty
+    /// when tracing was off at detection time.
+    pub recent_events: Vec<String>,
+    /// Graphviz DOT rendering of the wait-for graph at detection time
+    /// (blocked goroutines, their `B(g)` objects, and each object's mark
+    /// state). Empty when the detection produced no graph.
+    pub wait_for_dot: String,
 }
 
 impl DeadlockReport {
     /// The deduplication key: `(blocking location, spawn site)`. The same
     /// library code exercised from different callers collapses into one
-    /// deduplicated report, as in the paper.
-    pub fn dedup_key(&self) -> (String, String) {
-        (self.block_location.clone(), self.spawn_site.clone().unwrap_or_default())
+    /// deduplicated report, as in the paper. Borrows from the report —
+    /// callers that need owned keys convert explicitly.
+    pub fn dedup_key(&self) -> (&str, &str) {
+        (self.block_location.as_str(), self.spawn_site.as_deref().unwrap_or_default())
+    }
+
+    /// Owned form of [`DeadlockReport::dedup_key`], for aggregation maps
+    /// that outlive the report.
+    pub fn dedup_key_owned(&self) -> (String, String) {
+        let (block, site) = self.dedup_key();
+        (block.to_string(), site.to_string())
     }
 }
 
@@ -52,6 +68,12 @@ impl fmt::Display for DeadlockReport {
         }
         for frame in &self.stack {
             writeln!(f, "  {frame}")?;
+        }
+        if !self.recent_events.is_empty() {
+            writeln!(f, "  recent events (flight recorder):")?;
+            for e in &self.recent_events {
+                writeln!(f, "    {e}")?;
+            }
         }
         Ok(())
     }
@@ -74,15 +96,15 @@ impl fmt::Display for DeadlockReport {
 /// #     stack: vec![],
 /// #     cycle: 1,
 /// #     tick: 0,
+/// #     recent_events: vec![],
+/// #     wait_for_dot: String::new(),
 /// # };
 /// let reports = vec![mk("a:1"), mk("a:1"), mk("b:9")];
 /// let counts = dedup_counts(&reports);
 /// assert_eq!(counts.len(), 2);
-/// assert_eq!(counts[&("task:2".to_string(), "a:1".to_string())], 2);
+/// assert_eq!(counts[&("task:2", "a:1")], 2);
 /// ```
-pub fn dedup_counts(
-    reports: &[DeadlockReport],
-) -> std::collections::BTreeMap<(String, String), usize> {
+pub fn dedup_counts(reports: &[DeadlockReport]) -> std::collections::BTreeMap<(&str, &str), usize> {
     let mut out = std::collections::BTreeMap::new();
     for r in reports {
         *out.entry(r.dedup_key()).or_insert(0) += 1;
@@ -103,6 +125,8 @@ mod tests {
             stack: vec!["task:2".into(), "main:4".into()],
             cycle: 1,
             tick: 100,
+            recent_events: vec![],
+            wait_for_dot: String::new(),
         }
     }
 
@@ -121,8 +145,8 @@ mod tests {
             vec![report("task:2", Some("a:1")), report("task:2", Some("a:1")), report("x:5", None)];
         let counts = dedup_counts(&reports);
         assert_eq!(counts.len(), 2);
-        assert_eq!(counts[&("task:2".to_string(), "a:1".to_string())], 2);
-        assert_eq!(counts[&("x:5".to_string(), String::new())], 1);
+        assert_eq!(counts[&("task:2", "a:1")], 2);
+        assert_eq!(counts[&("x:5", "")], 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::cycle::GcEngine;
 use crate::report::DeadlockReport;
 use crate::stats::{GcCycleStats, GcTotals};
 use golf_runtime::{RunOutcome, RunStatus, TickStatus, Vm};
+use golf_trace::{TraceEvent, TraceSink};
 
 /// A VM driven with automatic garbage collection.
 ///
@@ -149,11 +150,25 @@ impl Session {
         self.gctrace = on;
     }
 
+    /// Installs (or removes) a structured trace sink on the underlying VM.
+    ///
+    /// While a sink is installed, scheduler and GC events stream to it and
+    /// the flight recorder retains recent history for deadlock forensics;
+    /// `gctrace` lines are additionally routed into the trace as
+    /// [`TraceEvent::GcTrace`] records.
+    pub fn set_trace_sink(&mut self, sink: Option<Box<dyn TraceSink>>) {
+        self.vm.set_trace_sink(sink);
+    }
+
     /// Forces a collection now, returning its statistics.
     pub fn collect(&mut self) -> GcCycleStats {
         let stats = self.engine.collect(&mut self.vm);
         if self.gctrace {
-            eprintln!("{stats}");
+            let line = stats.to_string();
+            if self.vm.trace_enabled() {
+                self.vm.trace_emit(TraceEvent::GcTrace { line: line.clone() });
+            }
+            eprintln!("{line}");
         }
         self.pacer.on_cycle_end(stats.live_bytes_after);
         if let Some(ns_per_tick) = self.pause_ns_per_tick {
@@ -170,18 +185,20 @@ impl Session {
     /// Runs until main returns, global deadlock, panic, or `max_ticks`.
     pub fn run(&mut self, max_ticks: u64) -> RunOutcome {
         let start = self.vm.now();
-        loop {
+        let status = loop {
             match self.step() {
                 TickStatus::Progress => {
                     if self.vm.now() - start >= max_ticks {
-                        return self.outcome(RunStatus::TickLimit);
+                        break RunStatus::TickLimit;
                     }
                 }
-                TickStatus::MainDone => return self.outcome(RunStatus::MainDone),
-                TickStatus::GlobalDeadlock => return self.outcome(RunStatus::GlobalDeadlock),
-                TickStatus::Panicked => return self.outcome(RunStatus::Panicked),
+                TickStatus::MainDone => break RunStatus::MainDone,
+                TickStatus::GlobalDeadlock => break RunStatus::GlobalDeadlock,
+                TickStatus::Panicked => break RunStatus::Panicked,
             }
-        }
+        };
+        self.vm.tracer_mut().flush();
+        self.outcome(status)
     }
 
     /// Runs like [`Session::run`], then forces one final collection — the

@@ -199,7 +199,8 @@ mod tests {
     #[test]
     fn absorb_accumulates() {
         let mut t = GcTotals::default();
-        let mut c = GcCycleStats { pause_ns: 100, mark_ns: 60, swept_objects: 3, ..Default::default() };
+        let mut c =
+            GcCycleStats { pause_ns: 100, mark_ns: 60, swept_objects: 3, ..Default::default() };
         c.deadlocks_detected = 2;
         t.absorb(&c);
         t.absorb(&c);

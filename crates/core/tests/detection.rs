@@ -3,9 +3,7 @@
 //! finalizer preservation, recovery, report deduplication).
 
 use golf_core::{GcEngine, GcMode, GolfConfig, PhaseEvent, Session};
-use golf_runtime::{
-    FuncBuilder, GStatus, ProgramSet, RunStatus, SelectSpec, Value, Vm, VmConfig,
-};
+use golf_runtime::{FuncBuilder, GStatus, ProgramSet, RunStatus, SelectSpec, Value, Vm, VmConfig};
 
 fn golf_session(p: ProgramSet) -> Session {
     Session::golf(Vm::boot(p, VmConfig::default()))
@@ -78,8 +76,7 @@ fn listing3(call_wait_for_results: bool) -> ProgramSet {
 fn listing3_buggy_path_detects_both_goroutines() {
     let mut s = golf_session(listing3(false));
     assert_eq!(s.run(100_000).status, RunStatus::MainDone);
-    let mut sites: Vec<_> =
-        s.reports().iter().map(|r| r.spawn_site.clone().unwrap()).collect();
+    let mut sites: Vec<_> = s.reports().iter().map(|r| r.spawn_site.clone().unwrap()).collect();
     sites.sort();
     assert_eq!(sites, vec!["NewFuncManager:34", "NewFuncManager:37"]);
     // Recovery reclaimed both goroutines and the channels they blocked on.

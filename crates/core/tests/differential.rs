@@ -7,9 +7,7 @@
 
 use golf_core::oracle::compute_liveness;
 use golf_core::{ExpansionStrategy, GcEngine, GcMode, GolfConfig};
-use golf_runtime::{
-    FuncBuilder, PanicPolicy, ProgramSet, Vm, VmConfig,
-};
+use golf_runtime::{FuncBuilder, PanicPolicy, ProgramSet, Vm, VmConfig};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -47,14 +45,16 @@ struct Prog {
 fn prog_strategy() -> impl Strategy<Value = Prog> {
     (2u8..5).prop_flat_map(|n_chans| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(op_strategy(n_chans), 1..6),
-                1..6,
-            ),
+            proptest::collection::vec(proptest::collection::vec(op_strategy(n_chans), 1..6), 1..6),
             proptest::collection::vec(any::<bool>(), n_chans as usize),
             any::<u64>(),
         )
-            .prop_map(move |(workers, main_keeps, seed)| Prog { n_chans, workers, main_keeps, seed })
+            .prop_map(move |(workers, main_keeps, seed)| Prog {
+                n_chans,
+                workers,
+                main_keeps,
+                seed,
+            })
     })
 }
 

@@ -89,7 +89,7 @@ fn collect_with(
     vm.run(2_000);
     let mut gc = engine(strategy);
     let stats = gc.collect(&mut vm);
-    let mut keys: Vec<_> = gc.reports().iter().map(|r| r.dedup_key()).collect();
+    let mut keys: Vec<_> = gc.reports().iter().map(|r| r.dedup_key_owned()).collect();
     keys.sort();
     (keys, stats)
 }
@@ -100,8 +100,7 @@ fn strategies_detect_identically() {
         let (rescan_keys, rescan) = collect_with(ExpansionStrategy::Rescan, chain, sel, orph, 1);
         let (marked_keys, marked) =
             collect_with(ExpansionStrategy::FromMarked, chain, sel, orph, 1);
-        let (incr_keys, incr) =
-            collect_with(ExpansionStrategy::Incremental, chain, sel, orph, 1);
+        let (incr_keys, incr) = collect_with(ExpansionStrategy::Incremental, chain, sel, orph, 1);
         assert_eq!(rescan_keys, marked_keys, "chain={chain} sel={sel} orph={orph}");
         assert_eq!(rescan_keys, incr_keys, "chain={chain} sel={sel} orph={orph}");
         assert_eq!(
@@ -176,10 +175,7 @@ fn cost_bound_shapes_match_section_5_3() {
 
     // Doubling the chain should roughly quadruple Rescan's checks…
     let rescan_growth = rescan_16 / rescan_8;
-    assert!(
-        rescan_growth > 2.6,
-        "Rescan growth {rescan_growth:.2} (expected ~4x for a 2x chain)"
-    );
+    assert!(rescan_growth > 2.6, "Rescan growth {rescan_growth:.2} (expected ~4x for a 2x chain)");
     // …but only about double FromMarked's.
     let marked_growth = marked_16 / marked_8;
     assert!(

@@ -121,8 +121,7 @@ fn inert_spawn_site_hint_exposes_listing5() {
     let hb = vm
         .live_goroutines()
         .find(|g| {
-            g.spawn_site
-                .is_some_and(|s| vm.program().site_info(s).label == "newDispatcher:71")
+            g.spawn_site.is_some_and(|s| vm.program().site_info(s).label == "newDispatcher:71")
         })
         .expect("heartbeat alive");
     assert_ne!(hb.status, GStatus::Deadlocked);

@@ -7,9 +7,7 @@
 //! goroutine accounting. GC must be pure bookkeeping.
 
 use golf_core::{ExpansionStrategy, GcMode, GolfConfig, PacerConfig, Session};
-use golf_runtime::{
-    BinOp, FuncBuilder, GlobalId, ProgramSet, RunStatus, Value, Vm, VmConfig,
-};
+use golf_runtime::{BinOp, FuncBuilder, GlobalId, ProgramSet, RunStatus, Value, Vm, VmConfig};
 use proptest::prelude::*;
 
 /// A correct program parameterized by shape: producers feed consumers, a

@@ -7,9 +7,7 @@
 //! long, and assert that no reported goroutine ever runs again.
 
 use golf_core::{GcEngine, Session};
-use golf_runtime::{
-    FuncBuilder, Gid, PanicPolicy, ProgramSet, TickStatus, Vm, VmConfig,
-};
+use golf_runtime::{FuncBuilder, Gid, PanicPolicy, ProgramSet, TickStatus, Vm, VmConfig};
 use proptest::prelude::*;
 
 /// One random action in a generated goroutine body.
@@ -50,10 +48,7 @@ fn program_strategy() -> impl Strategy<Value = RandomProgram> {
     (1u8..4).prop_flat_map(|n_chans| {
         (
             proptest::collection::vec(0u8..3, n_chans as usize),
-            proptest::collection::vec(
-                proptest::collection::vec(op_strategy(n_chans), 1..5),
-                1..5,
-            ),
+            proptest::collection::vec(proptest::collection::vec(op_strategy(n_chans), 1..5), 1..5),
             proptest::collection::vec(any::<bool>(), n_chans as usize),
             proptest::collection::vec(op_strategy(n_chans), 0..4),
             any::<u64>(),
@@ -80,8 +75,7 @@ fn build(rp: &RandomProgram) -> ProgramSet {
         b.ret(None);
         worker_ids.push(p.define(b));
     }
-    let sites: Vec<_> =
-        (0..rp.workers.len()).map(|i| p.site(format!("main:spawn{i}"))).collect();
+    let sites: Vec<_> = (0..rp.workers.len()).map(|i| p.site(format!("main:spawn{i}"))).collect();
 
     let mut b = FuncBuilder::new("main", 0);
     let chans: Vec<_> = (0..rp.n_chans).map(|i| b.var(&format!("ch{i}"))).collect();

@@ -59,9 +59,16 @@ pub struct LeakEntry {
 impl LeakEntry {
     /// The deduplication key, compatible with
     /// [`DeadlockReport::dedup_key`](golf_core::DeadlockReport::dedup_key):
-    /// `(blocking location, spawn site)`.
-    pub fn dedup_key(&self) -> (String, String) {
-        (self.location.clone(), self.spawn_site.clone().unwrap_or_default())
+    /// `(blocking location, spawn site)`. Borrows from the entry.
+    pub fn dedup_key(&self) -> (&str, &str) {
+        (self.location.as_str(), self.spawn_site.as_deref().unwrap_or_default())
+    }
+
+    /// Owned form of [`LeakEntry::dedup_key`], for aggregation maps that
+    /// outlive the entry.
+    pub fn dedup_key_owned(&self) -> (String, String) {
+        let (loc, site) = self.dedup_key();
+        (loc.to_string(), site.to_string())
     }
 }
 
@@ -278,6 +285,6 @@ mod tests {
     fn dedup_key_matches_golf_reports() {
         let vm = leaky_plus_sleeper();
         let leaks = find_leaks(&vm, GoleakOptions::default());
-        assert_eq!(leaks[0].dedup_key(), ("leaky:1".to_string(), "main:leak".to_string()));
+        assert_eq!(leaks[0].dedup_key(), ("leaky:1", "main:leak"));
     }
 }

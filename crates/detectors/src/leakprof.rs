@@ -86,10 +86,11 @@ impl LeakProf {
                 continue;
             }
             if entry.count >= self.threshold {
-                let slot = self
-                    .flagged
-                    .entry(entry.location.clone())
-                    .or_insert((entry.spawn_site.clone(), 0, 0));
+                let slot = self.flagged.entry(entry.location.clone()).or_insert((
+                    entry.spawn_site.clone(),
+                    0,
+                    0,
+                ));
                 slot.1 = slot.1.max(entry.count);
                 slot.2 += 1;
             }

@@ -93,7 +93,13 @@ impl<O: Trace, F> Heap<O, F> {
             Handle::new(idx, slot.generation)
         } else {
             let idx = u32::try_from(self.slots.len()).expect("heap slot index overflow");
-            self.slots.push(Slot { obj: Some(obj), generation: 0, marked: false, bytes, finalizer: None });
+            self.slots.push(Slot {
+                obj: Some(obj),
+                generation: 0,
+                marked: false,
+                bytes,
+                finalizer: None,
+            });
             Handle::new(idx, 0)
         }
     }

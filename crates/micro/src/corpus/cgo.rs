@@ -12,12 +12,16 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::CgoPaper,
         flakiness: 1,
         sites: vec!["cgo/unused-done:104"],
-        build: |n| pat::build_with("cgo/unused-done", n, |p| {
-            pat::unused_done(p, "cgo/unused-done", 104, false)
+        build: |n| {
+            pat::build_with("cgo/unused-done", n, |p| {
+                pat::unused_done(p, "cgo/unused-done", 104, false)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("cgo/unused-done", n, |p| {
+                pat::unused_done(p, "cgo/unused-done", 104, true)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("cgo/unused-done", n, |p| {
-            pat::unused_done(p, "cgo/unused-done", 104, true)
-        })),
     });
 
     // Paper Listing 3: the GoFuncManager missed-close bug (two sites).
@@ -26,12 +30,16 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::CgoPaper,
         flakiness: 1,
         sites: vec!["cgo/func-manager:34", "cgo/func-manager:37"],
-        build: |n| pat::build_with("cgo/func-manager", n, |p| {
-            pat::missing_close_range(p, "cgo/func-manager", 34, 37, false)
+        build: |n| {
+            pat::build_with("cgo/func-manager", n, |p| {
+                pat::missing_close_range(p, "cgo/func-manager", 34, 37, false)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("cgo/func-manager", n, |p| {
+                pat::missing_close_range(p, "cgo/func-manager", 34, 37, true)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("cgo/func-manager", n, |p| {
-            pat::missing_close_range(p, "cgo/func-manager", 34, 37, true)
-        })),
     });
 
     // The CGO'24 "double send" pattern (also Table 2's injected leak).
@@ -40,12 +48,16 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::CgoPaper,
         flakiness: 1,
         sites: vec!["cgo/double-send:55"],
-        build: |n| pat::build_with("cgo/double-send", n, |p| {
-            pat::double_send(p, "cgo/double-send", 55, false)
+        build: |n| {
+            pat::build_with("cgo/double-send", n, |p| {
+                pat::double_send(p, "cgo/double-send", 55, false)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("cgo/double-send", n, |p| {
+                pat::double_send(p, "cgo/double-send", 55, true)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("cgo/double-send", n, |p| {
-            pat::double_send(p, "cgo/double-send", 55, true)
-        })),
     });
 
     // Timeout leak: the result send always loses the race.
@@ -54,12 +66,16 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::CgoPaper,
         flakiness: 1,
         sites: vec!["cgo/timeout-leak:23"],
-        build: |n| pat::build_with("cgo/timeout-leak", n, |p| {
-            pat::timeout_abandon(p, "cgo/timeout-leak", 23, false)
+        build: |n| {
+            pat::build_with("cgo/timeout-leak", n, |p| {
+                pat::timeout_abandon(p, "cgo/timeout-leak", 23, false)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("cgo/timeout-leak", n, |p| {
+                pat::timeout_abandon(p, "cgo/timeout-leak", 23, true)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("cgo/timeout-leak", n, |p| {
-            pat::timeout_abandon(p, "cgo/timeout-leak", 23, true)
-        })),
     });
 
     // Early return abandons the producer of an iterated channel.
@@ -68,12 +84,16 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::CgoPaper,
         flakiness: 1,
         sites: vec!["cgo/early-return:68"],
-        build: |n| pat::build_with("cgo/early-return", n, |p| {
-            pat::fanout_no_drain(p, "cgo/early-return", 68, 3, false)
+        build: |n| {
+            pat::build_with("cgo/early-return", n, |p| {
+                pat::fanout_no_drain(p, "cgo/early-return", 68, 3, false)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("cgo/early-return", n, |p| {
+                pat::fanout_no_drain(p, "cgo/early-return", 68, 3, true)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("cgo/early-return", n, |p| {
-            pat::fanout_no_drain(p, "cgo/early-return", 68, 3, true)
-        })),
     });
 
     // Cache with a refresher and an expirer goroutine, neither shut down.
@@ -82,11 +102,15 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::CgoPaper,
         flakiness: 1,
         sites: vec!["cgo/cache-cleanup:41", "cgo/cache-cleanup:47"],
-        build: |n| pat::build_with("cgo/cache-cleanup", n, |p| {
-            pat::task_plus_cleanup(p, "cgo/cache-cleanup", 41, 47, false)
+        build: |n| {
+            pat::build_with("cgo/cache-cleanup", n, |p| {
+                pat::task_plus_cleanup(p, "cgo/cache-cleanup", 41, 47, false)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("cgo/cache-cleanup", n, |p| {
+                pat::task_plus_cleanup(p, "cgo/cache-cleanup", 41, 47, true)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("cgo/cache-cleanup", n, |p| {
-            pat::task_plus_cleanup(p, "cgo/cache-cleanup", 41, 47, true)
-        })),
     });
 }

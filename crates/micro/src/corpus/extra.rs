@@ -202,8 +202,7 @@ mod tests {
 
     #[test]
     fn extra_corpus_is_disjoint_from_the_paper_corpus() {
-        let paper: std::collections::HashSet<_> =
-            crate::corpus().iter().map(|b| b.name).collect();
+        let paper: std::collections::HashSet<_> = crate::corpus().iter().map(|b| b.name).collect();
         for mb in extra_corpus() {
             assert!(!paper.contains(mb.name));
         }

@@ -93,24 +93,38 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
     det!(v, "moby/4951", ["moby/4951:34"], double_send(34), fixed);
 
     // -- family C: missed close over ranged channels ----------------------
-    det!(v, "cockroach/2448", ["cockroach/2448:26", "cockroach/2448:32"],
-        missing_close_range(26, 32), fixed);
-    det!(v, "etcd/5509", ["etcd/5509:103", "etcd/5509:109"],
-        missing_close_range(103, 109), fixed);
+    det!(
+        v,
+        "cockroach/2448",
+        ["cockroach/2448:26", "cockroach/2448:32"],
+        missing_close_range(26, 32),
+        fixed
+    );
+    det!(v, "etcd/5509", ["etcd/5509:103", "etcd/5509:109"], missing_close_range(103, 109), fixed);
 
     // -- family D: abandoned timeout --------------------------------------
     det!(v, "cockroach/3710", ["cockroach/3710:200"], timeout_abandon(200), fixed);
     det!(v, "grpc/862", ["grpc/862:53"], timeout_abandon(53), fixed);
-    det!(v, "istio/16224", ["istio/16224:74", "istio/16224:80", "istio/16224:86"],
-        triple_fan_in(74, 80, 86), fixed);
+    det!(
+        v,
+        "istio/16224",
+        ["istio/16224:74", "istio/16224:80", "istio/16224:86"],
+        triple_fan_in(74, 80, 86),
+        fixed
+    );
 
     // -- family E: WaitGroup miscount -------------------------------------
     det!(v, "cockroach/9935", ["cockroach/9935:46"], wg_mismatch(46), fixed);
     det!(v, "moby/7559", ["moby/7559:29"], wg_mismatch(29), fixed);
 
     // -- family F: lock-order inversion -----------------------------------
-    det!(v, "cockroach/10214", ["cockroach/10214:145", "cockroach/10214:152"],
-        lock_order(145, 152), fixed);
+    det!(
+        v,
+        "cockroach/10214",
+        ["cockroach/10214:145", "cockroach/10214:152"],
+        lock_order(145, 152),
+        fixed
+    );
     det!(v, "etcd/6708", ["etcd/6708:80", "etcd/6708:87"], lock_order(80, 87), fixed);
 
     // -- family G: condition variable without a signaler ------------------
@@ -119,8 +133,12 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
 
     // -- family H: fan-out without drain ----------------------------------
     det!(v, "cockroach/13197", ["cockroach/13197:67"], fanout_no_drain(67, 4));
-    det!(v, "grpc/1275", ["grpc/1275:44", "grpc/1275:50", "grpc/1275:56"],
-        triple_fan_in(44, 50, 56));
+    det!(
+        v,
+        "grpc/1275",
+        ["grpc/1275:44", "grpc/1275:50", "grpc/1275:56"],
+        triple_fan_in(44, 50, 56)
+    );
 
     // -- family I: nil channel --------------------------------------------
     det!(v, "cockroach/13755", ["cockroach/13755:32"], nil_chan_block(32));
@@ -131,14 +149,21 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
     det!(v, "grpc/1424", ["grpc/1424:40"], orphan_select(40));
 
     // -- family K: crossed handshake --------------------------------------
-    det!(v, "cockroach/18101", ["cockroach/18101:30", "cockroach/18101:36"],
-        crossed_handshake(30, 36));
-    det!(v, "moby/21233", ["moby/21233:155", "moby/21233:161"],
-        crossed_handshake(155, 161));
+    det!(
+        v,
+        "cockroach/18101",
+        ["cockroach/18101:30", "cockroach/18101:36"],
+        crossed_handshake(30, 36)
+    );
+    det!(v, "moby/21233", ["moby/21233:155", "moby/21233:161"], crossed_handshake(155, 161));
 
     // -- family L: abandoned read lock ------------------------------------
-    det!(v, "cockroach/24808", ["cockroach/24808:71", "cockroach/24808:76"],
-        rwlock_abandon(71, 76));
+    det!(
+        v,
+        "cockroach/24808",
+        ["cockroach/24808:71", "cockroach/24808:76"],
+        rwlock_abandon(71, 76)
+    );
     det!(v, "etcd/6873", ["etcd/6873:44", "etcd/6873:50"], rwlock_abandon(44, 50));
 
     // -- family M: exhausted channel semaphore ----------------------------
@@ -146,10 +171,13 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
     det!(v, "moby/25384", ["moby/25384:40"], semaphore_exhaust(40, 1));
 
     // -- family N: abandoned pipeline -------------------------------------
-    det!(v, "cockroach/35073", ["cockroach/35073:133", "cockroach/35073:139"],
-        pipeline_abandon(133, 139));
-    det!(v, "syncthing/4829", ["syncthing/4829:88", "syncthing/4829:94"],
-        pipeline_abandon(88, 94));
+    det!(
+        v,
+        "cockroach/35073",
+        ["cockroach/35073:133", "cockroach/35073:139"],
+        pipeline_abandon(133, 139)
+    );
+    det!(v, "syncthing/4829", ["syncthing/4829:88", "syncthing/4829:94"], pipeline_abandon(88, 94));
 
     // -- family O: forgotten cancellation ----------------------------------
     det!(v, "cockroach/35931", ["cockroach/35931:46"], ctx_cancel_forgotten(46));
@@ -160,15 +188,27 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
     det!(v, "moby/28462", ["moby/28462:88"], forgotten_unlock(88));
 
     // -- family Q: broken barrier -----------------------------------------
-    det!(v, "kubernetes/5316", ["kubernetes/5316:58", "kubernetes/5316:63"],
-        broken_barrier(58, 63));
+    det!(
+        v,
+        "kubernetes/5316",
+        ["kubernetes/5316:58", "kubernetes/5316:63"],
+        broken_barrier(58, 63)
+    );
     det!(v, "moby/30408", ["moby/30408:22", "moby/30408:28"], broken_barrier(22, 28));
 
     // -- family R: request/response with dropped response ------------------
-    det!(v, "kubernetes/6632", ["kubernetes/6632:97", "kubernetes/6632:103"],
-        request_response_drop(97, 103));
-    det!(v, "syncthing/5795", ["syncthing/5795:36", "syncthing/5795:41"],
-        request_response_drop(36, 41));
+    det!(
+        v,
+        "kubernetes/6632",
+        ["kubernetes/6632:97", "kubernetes/6632:103"],
+        request_response_drop(97, 103)
+    );
+    det!(
+        v,
+        "syncthing/5795",
+        ["syncthing/5795:36", "syncthing/5795:41"],
+        request_response_drop(36, 41)
+    );
 
     // -- family S: missed broadcast ----------------------------------------
     det!(v, "moby/33293", ["moby/33293:29"], missed_broadcast(29));
@@ -179,26 +219,49 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
     det!(v, "serving/2137", ["serving/2137:90"], ticker_stop_leak(90));
 
     // -- family U: triple-source fan-in -------------------------------------
-    det!(v, "grpc/2166", ["grpc/2166:37", "grpc/2166:43", "grpc/2166:49"],
-        triple_fan_in(37, 43, 49));
-    det!(v, "cockroach/30135", ["cockroach/30135:81", "cockroach/30135:87", "cockroach/30135:93"],
-        triple_fan_in(81, 87, 93));
-    det!(v, "etcd/7902", ["etcd/7902:55", "etcd/7902:61", "etcd/7902:67"],
-        triple_fan_in(55, 61, 67));
+    det!(
+        v,
+        "grpc/2166",
+        ["grpc/2166:37", "grpc/2166:43", "grpc/2166:49"],
+        triple_fan_in(37, 43, 49)
+    );
+    det!(
+        v,
+        "cockroach/30135",
+        ["cockroach/30135:81", "cockroach/30135:87", "cockroach/30135:93"],
+        triple_fan_in(81, 87, 93)
+    );
+    det!(
+        v,
+        "etcd/7902",
+        ["etcd/7902:55", "etcd/7902:61", "etcd/7902:67"],
+        triple_fan_in(55, 61, 67)
+    );
 
     // -- family V: task plus cleanup pair -----------------------------------
-    det!(v, "kubernetes/30872", ["kubernetes/30872:556", "kubernetes/30872:562"],
-        task_plus_cleanup(556, 562));
-    det!(v, "kubernetes/38669", ["kubernetes/38669:73", "kubernetes/38669:79"],
-        task_plus_cleanup(73, 79));
+    det!(
+        v,
+        "kubernetes/30872",
+        ["kubernetes/30872:556", "kubernetes/30872:562"],
+        task_plus_cleanup(556, 562)
+    );
+    det!(
+        v,
+        "kubernetes/38669",
+        ["kubernetes/38669:73", "kubernetes/38669:79"],
+        task_plus_cleanup(73, 79)
+    );
     det!(v, "moby/29733", ["moby/29733:62", "moby/29733:68"], task_plus_cleanup(62, 68));
     det!(v, "grpc/3120", ["grpc/3120:104", "grpc/3120:110"], task_plus_cleanup(104, 110));
 
     // -- family W: WaitGroup + channel mix ----------------------------------
-    det!(v, "kubernetes/70277", ["kubernetes/70277:42", "kubernetes/70277:48"],
-        wg_chan_mix(42, 48));
+    det!(
+        v,
+        "kubernetes/70277",
+        ["kubernetes/70277:42", "kubernetes/70277:48"],
+        wg_chan_mix(42, 48)
+    );
     det!(v, "moby/27782", ["moby/27782:171", "moby/27782:177"], wg_chan_mix(171, 177));
-    det!(v, "syncthing/6182", ["syncthing/6182:24", "syncthing/6182:30"],
-        wg_chan_mix(24, 30));
+    det!(v, "syncthing/6182", ["syncthing/6182:24", "syncthing/6182:30"], wg_chan_mix(24, 30));
     det!(v, "istio/20685", ["istio/20685:61", "istio/20685:67"], wg_chan_mix(61, 67));
 }

@@ -63,17 +63,20 @@ fn prob_lock_order(p: &mut ProgramSet, name: &str, l1: u32, l2: u32, num: i64, d
     b.go(locker, &[mu1, mu2], s1);
     let invert = b.var("invert");
     b.rand_chance(invert, num, den);
-    b.if_else(
-        invert,
-        |b| b.go(locker, &[mu2, mu1], s2),
-        |b| b.go(locker, &[mu1, mu2], s2),
-    );
+    b.if_else(invert, |b| b.go(locker, &[mu2, mu1], s2), |b| b.go(locker, &[mu1, mu2], s2));
     b.ret(None);
     p.define(b)
 }
 
 /// Gated missed-close (Listing 3 shape).
-fn prob_missing_close(p: &mut ProgramSet, name: &str, l1: u32, l2: u32, num: i64, den: i64) -> FuncId {
+fn prob_missing_close(
+    p: &mut ProgramSet,
+    name: &str,
+    l1: u32,
+    l2: u32,
+    num: i64,
+    den: i64,
+) -> FuncId {
     let s1 = p.site(format!("{name}:{l1}"));
     let s2 = p.site(format!("{name}:{l2}"));
     let mut b = FuncBuilder::new("ranger", 1);
@@ -308,12 +311,14 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 100,
         sites: vec!["cockroach/6181:58", "cockroach/6181:65"],
-        build: |n| pat::build_with("cockroach/6181", n, |p| {
-            prob_pair(p, "cockroach/6181", 58, 65, 37, 100)
+        build: |n| {
+            pat::build_with("cockroach/6181", n, |p| {
+                prob_pair(p, "cockroach/6181", 58, 65, 37, 100)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("cockroach/6181", n, |p| prob_pair(p, "cockroach/6181", 58, 65, 0, 100))
         }),
-        build_fixed: Some(|n| pat::build_with("cockroach/6181", n, |p| {
-            prob_pair(p, "cockroach/6181", 58, 65, 0, 100)
-        })),
     });
 
     // cockroach/7504 — lock-order inversion; ~99.75%.
@@ -322,12 +327,16 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 1000,
         sites: vec!["cockroach/7504:170", "cockroach/7504:177"],
-        build: |n| pat::build_with("cockroach/7504", n, |p| {
-            prob_lock_order(p, "cockroach/7504", 170, 177, 31, 100)
+        build: |n| {
+            pat::build_with("cockroach/7504", n, |p| {
+                prob_lock_order(p, "cockroach/7504", 170, 177, 31, 100)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("cockroach/7504", n, |p| {
+                prob_lock_order(p, "cockroach/7504", 170, 177, 0, 100)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("cockroach/7504", n, |p| {
-            prob_lock_order(p, "cockroach/7504", 170, 177, 0, 100)
-        })),
     });
 
     // etcd/7443 — watcher-shielded leaks; near 0% (GOLF false negative,
@@ -343,9 +352,11 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
             "etcd/7443:221",
             "etcd/7443:225",
         ],
-        build: |n| pat::build_with("etcd/7443", n, |p| {
-            pat::keeper_shielded(p, "etcd/7443", &[96, 128, 215, 221, 225], 18, 12)
-        }),
+        build: |n| {
+            pat::build_with("etcd/7443", n, |p| {
+                pat::keeper_shielded(p, "etcd/7443", &[96, 128, 215, 221, 225], 18, 12)
+            })
+        },
         build_fixed: None,
     });
 
@@ -355,12 +366,10 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 10,
         sites: vec!["grpc/1460:83", "grpc/1460:85"],
-        build: |n| pat::build_with("grpc/1460", n, |p| {
-            prob_pair(p, "grpc/1460", 83, 85, 65, 100)
+        build: |n| pat::build_with("grpc/1460", n, |p| prob_pair(p, "grpc/1460", 83, 85, 65, 100)),
+        build_fixed: Some(|n| {
+            pat::build_with("grpc/1460", n, |p| prob_pair(p, "grpc/1460", 83, 85, 0, 100))
         }),
-        build_fixed: Some(|n| pat::build_with("grpc/1460", n, |p| {
-            prob_pair(p, "grpc/1460", 83, 85, 0, 100)
-        })),
     });
 
     // grpc/3017 — leak on the FAST path: needs parallelism to manifest
@@ -370,9 +379,11 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 100,
         sites: vec!["grpc/3017:71", "grpc/3017:97", "grpc/3017:106"],
-        build: |n| pat::build_with("grpc/3017", n, |p| {
-            race_trio(p, "grpc/3017", [71, 97, 106], 6, 140, true)
-        }),
+        build: |n| {
+            pat::build_with("grpc/3017", n, |p| {
+                race_trio(p, "grpc/3017", [71, 97, 106], 6, 140, true)
+            })
+        },
         build_fixed: None,
     });
 
@@ -383,15 +394,17 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 100,
         sites: vec!["hugo/3261:54", "hugo/3261:62"],
-        build: |n| pat::build_with("hugo/3261", n, |p| {
-            let a = pat::race_timeout_named(p, "hugo/3261", "a", 54, 10, 18, false);
-            let c = pat::race_timeout_named(p, "hugo/3261", "b", 62, 10, 18, false);
-            let mut b = FuncBuilder::new("scenario", 0);
-            b.call(a, &[], None);
-            b.call(c, &[], None);
-            b.ret(None);
-            p.define(b)
-        }),
+        build: |n| {
+            pat::build_with("hugo/3261", n, |p| {
+                let a = pat::race_timeout_named(p, "hugo/3261", "a", 54, 10, 18, false);
+                let c = pat::race_timeout_named(p, "hugo/3261", "b", 62, 10, 18, false);
+                let mut b = FuncBuilder::new("scenario", 0);
+                b.call(a, &[], None);
+                b.call(c, &[], None);
+                b.ret(None);
+                p.define(b)
+            })
+        },
         build_fixed: None,
     });
 
@@ -401,12 +414,16 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 10,
         sites: vec!["kubernetes/1321:52", "kubernetes/1321:95"],
-        build: |n| pat::build_with("kubernetes/1321", n, |p| {
-            prob_missing_close(p, "kubernetes/1321", 52, 95, 78, 100)
+        build: |n| {
+            pat::build_with("kubernetes/1321", n, |p| {
+                prob_missing_close(p, "kubernetes/1321", 52, 95, 78, 100)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("kubernetes/1321", n, |p| {
+                prob_missing_close(p, "kubernetes/1321", 52, 95, 0, 100)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("kubernetes/1321", n, |p| {
-            prob_missing_close(p, "kubernetes/1321", 52, 95, 0, 100)
-        })),
     });
 
     // kubernetes/10182 — gated orphan select; ~99.75%.
@@ -415,12 +432,16 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 10,
         sites: vec!["kubernetes/10182:95"],
-        build: |n| pat::build_with("kubernetes/10182", n, |p| {
-            prob_orphan_select(p, "kubernetes/10182", 95, 78, 100)
+        build: |n| {
+            pat::build_with("kubernetes/10182", n, |p| {
+                prob_orphan_select(p, "kubernetes/10182", 95, 78, 100)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("kubernetes/10182", n, |p| {
+                prob_orphan_select(p, "kubernetes/10182", 95, 0, 100)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("kubernetes/10182", n, |p| {
-            prob_orphan_select(p, "kubernetes/10182", 95, 0, 100)
-        })),
     });
 
     // kubernetes/11298 — gated crossed handshake; ~99.85%.
@@ -429,12 +450,16 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 10,
         sites: vec!["kubernetes/11298:20", "kubernetes/11298:106"],
-        build: |n| pat::build_with("kubernetes/11298", n, |p| {
-            prob_handshake(p, "kubernetes/11298", 20, 106, 80, 100)
+        build: |n| {
+            pat::build_with("kubernetes/11298", n, |p| {
+                prob_handshake(p, "kubernetes/11298", 20, 106, 80, 100)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("kubernetes/11298", n, |p| {
+                prob_handshake(p, "kubernetes/11298", 20, 106, 0, 100)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("kubernetes/11298", n, |p| {
-            prob_handshake(p, "kubernetes/11298", 20, 106, 0, 100)
-        })),
     });
 
     // kubernetes/25331 — gated forgotten cancel; ~99%.
@@ -443,12 +468,16 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 10,
         sites: vec!["kubernetes/25331:79"],
-        build: |n| pat::build_with("kubernetes/25331", n, |p| {
-            prob_ctx_cancel(p, "kubernetes/25331", 79, 70, 100)
+        build: |n| {
+            pat::build_with("kubernetes/25331", n, |p| {
+                prob_ctx_cancel(p, "kubernetes/25331", 79, 70, 100)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("kubernetes/25331", n, |p| {
+                prob_ctx_cancel(p, "kubernetes/25331", 79, 0, 100)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("kubernetes/25331", n, |p| {
-            prob_ctx_cancel(p, "kubernetes/25331", 79, 0, 100)
-        })),
     });
 
     // kubernetes/62464 — gated abandoned read lock; ~97.5%.
@@ -457,12 +486,16 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 10,
         sites: vec!["kubernetes/62464:115", "kubernetes/62464:117"],
-        build: |n| pat::build_with("kubernetes/62464", n, |p| {
-            prob_rwlock(p, "kubernetes/62464", 115, 117, 60, 100)
+        build: |n| {
+            pat::build_with("kubernetes/62464", n, |p| {
+                prob_rwlock(p, "kubernetes/62464", 115, 117, 60, 100)
+            })
+        },
+        build_fixed: Some(|n| {
+            pat::build_with("kubernetes/62464", n, |p| {
+                prob_rwlock(p, "kubernetes/62464", 115, 117, 0, 100)
+            })
         }),
-        build_fixed: Some(|n| pat::build_with("kubernetes/62464", n, |p| {
-            prob_rwlock(p, "kubernetes/62464", 115, 117, 0, 100)
-        })),
     });
 
     // moby/27282 — timer race with a wide noisy window (the paper sees a
@@ -472,15 +505,17 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 100,
         sites: vec!["moby/27282:65", "moby/27282:213"],
-        build: |n| pat::build_with("moby/27282", n, |p| {
-            let a = pat::race_timeout_named(p, "moby/27282", "a", 65, 8, 17, false);
-            let c = pat::race_timeout_named(p, "moby/27282", "b", 213, 8, 17, false);
-            let mut b = FuncBuilder::new("scenario", 0);
-            b.call(a, &[], None);
-            b.call(c, &[], None);
-            b.ret(None);
-            p.define(b)
-        }),
+        build: |n| {
+            pat::build_with("moby/27282", n, |p| {
+                let a = pat::race_timeout_named(p, "moby/27282", "a", 65, 8, 17, false);
+                let c = pat::race_timeout_named(p, "moby/27282", "b", 213, 8, 17, false);
+                let mut b = FuncBuilder::new("scenario", 0);
+                b.call(a, &[], None);
+                b.call(c, &[], None);
+                b.ret(None);
+                p.define(b)
+            })
+        },
         build_fixed: None,
     });
 
@@ -490,11 +525,9 @@ pub(super) fn register(v: &mut Vec<Microbenchmark>) {
         source: Source::GoBench,
         flakiness: 10,
         sites: vec!["moby/33781:39"],
-        build: |n| pat::build_with("moby/33781", n, |p| {
-            prob_wg(p, "moby/33781", 39, 60, 100)
+        build: |n| pat::build_with("moby/33781", n, |p| prob_wg(p, "moby/33781", 39, 60, 100)),
+        build_fixed: Some(|n| {
+            pat::build_with("moby/33781", n, |p| prob_wg(p, "moby/33781", 39, 0, 100))
         }),
-        build_fixed: Some(|n| pat::build_with("moby/33781", n, |p| {
-            prob_wg(p, "moby/33781", 39, 0, 100)
-        })),
     });
 }

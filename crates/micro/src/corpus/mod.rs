@@ -41,6 +41,15 @@ pub struct Microbenchmark {
     pub build_fixed: Option<fn(usize) -> ProgramSet>,
 }
 
+impl Microbenchmark {
+    /// Substring match on the benchmark name for `--match`-style filters,
+    /// treating `-` and `_` as equivalent so artifact-style patterns like
+    /// `double_send` select `cgo/double-send`.
+    pub fn matches(&self, pattern: &str) -> bool {
+        self.name.replace('-', "_").contains(&pattern.replace('-', "_"))
+    }
+}
+
 impl std::fmt::Debug for Microbenchmark {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Microbenchmark")
@@ -90,11 +99,7 @@ mod tests {
         for b in &all {
             for s in &b.sites {
                 assert!(seen.insert(*s), "duplicate site label {s}");
-                assert!(
-                    s.starts_with(b.name),
-                    "site {s} does not belong to benchmark {}",
-                    b.name
-                );
+                assert!(s.starts_with(b.name), "site {s} does not belong to benchmark {}", b.name);
             }
         }
     }
@@ -104,8 +109,7 @@ mod tests {
         for mb in corpus() {
             let p = (mb.build)(1);
             assert!(p.func_named("main").is_some(), "{} lacks main", mb.name);
-            let labels: HashSet<String> =
-                (0..p.site_count()).map(|i| site_label(&p, i)).collect();
+            let labels: HashSet<String> = (0..p.site_count()).map(|i| site_label(&p, i)).collect();
             for s in &mb.sites {
                 assert!(labels.contains(*s), "{}: site {s} not registered", mb.name);
             }
@@ -114,6 +118,15 @@ mod tests {
                 assert!(pf.func_named("main").is_some(), "{} fixed lacks main", mb.name);
             }
         }
+    }
+
+    #[test]
+    fn match_filter_is_separator_insensitive() {
+        let all = corpus();
+        let hits: Vec<_> =
+            all.iter().filter(|b| b.matches("double_send")).map(|b| b.name).collect();
+        assert_eq!(hits, vec!["cgo/double-send"]);
+        assert!(all.iter().any(|b| b.matches("cockroach/1462")));
     }
 
     #[test]

@@ -149,14 +149,8 @@ mod tests {
         // Sweep eight fuzz seeds: the forced orderings must cover the buggy
         // arm at least once, and the non-buggy orderings must stay clean.
         let outcome = fuzz_benchmark(&mb, &(0..8).collect::<Vec<u64>>(), &settings);
-        assert!(
-            outcome.detected_sites.contains("fuzz/order-sensitive:13"),
-            "{outcome:?}"
-        );
-        assert!(
-            outcome.per_seed.contains(&0),
-            "some orderings avoid the leak: {outcome:?}"
-        );
+        assert!(outcome.detected_sites.contains("fuzz/order-sensitive:13"), "{outcome:?}");
+        assert!(outcome.per_seed.contains(&0), "some orderings avoid the leak: {outcome:?}");
         assert!(outcome.productive_seeds >= 1);
     }
 

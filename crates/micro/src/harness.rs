@@ -3,6 +3,7 @@
 use crate::corpus::Microbenchmark;
 use golf_core::Session;
 use golf_runtime::{PanicPolicy, RunStatus, Vm, VmConfig};
+use golf_trace::SharedJsonlSink;
 use std::collections::BTreeSet;
 
 /// Parameters for one microbenchmark run.
@@ -17,11 +18,14 @@ pub struct RunSettings {
     pub tick_budget: u64,
     /// Cap on concurrent instances for flaky benchmarks.
     pub max_instances: usize,
+    /// When set, the run streams structured trace events into this shared
+    /// sink (all runs of a sweep append to the same JSONL file).
+    pub trace: Option<SharedJsonlSink>,
 }
 
 impl Default for RunSettings {
     fn default() -> Self {
-        RunSettings { procs: 1, seed: 0, tick_budget: 3_000, max_instances: 24 }
+        RunSettings { procs: 1, seed: 0, tick_budget: 3_000, max_instances: 24, trace: None }
     }
 }
 
@@ -73,6 +77,9 @@ pub fn run_benchmark(mb: &Microbenchmark, settings: &RunSettings) -> BenchRunRes
     };
     let vm = Vm::boot(program, config);
     let mut session = Session::golf(vm);
+    if let Some(sink) = &settings.trace {
+        session.set_trace_sink(Some(Box::new(sink.clone())));
+    }
     let outcome = session.run(settings.tick_budget);
     // Let in-flight instances quiesce, then take the final GC, as in the
     // artifact's template (`time.Sleep(...); runtime.GC()`).
@@ -94,8 +101,7 @@ pub fn run_benchmark(mb: &Microbenchmark, settings: &RunSettings) -> BenchRunRes
     BenchRunResult {
         detected_sites,
         report_count: session.reports().len(),
-        runtime_failure: outcome.status == RunStatus::Panicked
-            || !session.vm().panics().is_empty(),
+        runtime_failure: outcome.status == RunStatus::Panicked || !session.vm().panics().is_empty(),
         unexpected_sites: unexpected,
         ticks: outcome.ticks,
     }

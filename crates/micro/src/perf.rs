@@ -85,11 +85,8 @@ fn measure(build: BuildFn, golf: bool, s: &PerfSettings) -> (f64, u64) {
         mark_ns_total += totals.mark_total_ns;
         cycles_total += totals.num_gc;
     }
-    let mean_us = if cycles_total == 0 {
-        0.0
-    } else {
-        mark_ns_total as f64 / cycles_total as f64 / 1_000.0
-    };
+    let mean_us =
+        if cycles_total == 0 { 0.0 } else { mark_ns_total as f64 / cycles_total as f64 / 1_000.0 };
     (mean_us, cycles_total / u64::from(s.repetitions.max(1)))
 }
 
@@ -97,7 +94,8 @@ fn measure(build: BuildFn, golf: bool, s: &PerfSettings) -> (f64, u64) {
 pub fn run_perf_comparison(settings: &PerfSettings) -> Vec<PerfRow> {
     let mut rows = Vec::new();
     for mb in corpus() {
-        let mut programs: Vec<(String, bool, BuildFn)> = vec![(mb.name.to_string(), true, mb.build)];
+        let mut programs: Vec<(String, bool, BuildFn)> =
+            vec![(mb.name.to_string(), true, mb.build)];
         if let Some(fixed) = mb.build_fixed {
             programs.push((format!("{} (fixed)", mb.name), false, fixed));
         }
@@ -125,11 +123,8 @@ pub fn summarize_groups(rows: &[PerfRow]) -> Vec<PerfGroupSummary> {
     for (label, buggy) in [("correct", false), ("deadlocking", true)] {
         let slowdowns: Vec<f64> =
             rows.iter().filter(|r| r.buggy == buggy).map(|r| r.slowdown).collect();
-        let max_mark = rows
-            .iter()
-            .filter(|r| r.buggy == buggy)
-            .map(|r| r.golf_mark_us)
-            .fold(0.0f64, f64::max);
+        let max_mark =
+            rows.iter().filter(|r| r.buggy == buggy).map(|r| r.golf_mark_us).fold(0.0f64, f64::max);
         if let Some(slowdown) = BoxPlot::of(&slowdowns) {
             out.push(PerfGroupSummary { label, slowdown, max_golf_mark_us: max_mark });
         }

@@ -4,6 +4,7 @@
 use crate::corpus::{corpus, Microbenchmark};
 use crate::harness::{run_benchmark, RunSettings};
 use golf_metrics::{Align, Table};
+use golf_trace::SharedJsonlSink;
 use std::sync::Mutex;
 
 /// Experiment configuration.
@@ -21,6 +22,8 @@ pub struct Table1Config {
     pub max_instances: usize,
     /// Worker threads (0 = all available cores).
     pub threads: usize,
+    /// When set, every run streams trace events into this shared sink.
+    pub trace: Option<SharedJsonlSink>,
 }
 
 impl Default for Table1Config {
@@ -32,6 +35,7 @@ impl Default for Table1Config {
             base_seed: 0x601F,
             max_instances: 24,
             threads: 0,
+            trace: None,
         }
     }
 }
@@ -117,8 +121,7 @@ impl Table1 {
                 t.row(cells);
             }
         }
-        let remaining_benches =
-            perfect_benches.difference(&imperfect_benches).count();
+        let remaining_benches = perfect_benches.difference(&imperfect_benches).count();
         let mut remaining = vec![format!(
             "Remaining {remaining_benches} benchmarks ({perfect_sites} go instructions)"
         )];
@@ -188,6 +191,7 @@ pub fn run_table1_on(benchmarks: &[Microbenchmark], config: &Table1Config) -> Ta
                                 seed,
                                 tick_budget: config.tick_budget,
                                 max_instances: config.max_instances,
+                                trace: config.trace.clone(),
                             },
                         );
                         for row in per_site.iter_mut() {
@@ -242,12 +246,8 @@ mod tests {
         };
         assert_eq!(row.total_pct(), 75.0);
         assert!(!row.perfect());
-        let perfect = SiteRow {
-            bench: "x".into(),
-            site: "x:1".into(),
-            per_proc: vec![10, 10],
-            runs: 10,
-        };
+        let perfect =
+            SiteRow { bench: "x".into(), site: "x:1".into(), per_proc: vec![10, 10], runs: 10 };
         assert!(perfect.perfect());
         assert_eq!(perfect.total_pct(), 100.0);
     }
@@ -255,8 +255,7 @@ mod tests {
     #[test]
     fn quick_subset_detects_deterministic_sites() {
         let all = corpus();
-        let subset: Vec<_> =
-            all.into_iter().filter(|b| b.name == "cgo/unused-done").collect();
+        let subset: Vec<_> = all.into_iter().filter(|b| b.name == "cgo/unused-done").collect();
         let t = run_table1_on(
             &subset,
             &Table1Config {

@@ -2,8 +2,8 @@
 //! every annotated site must be detected in a single run; flaky benchmarks
 //! must manifest within a few seeds; fixed variants must never report.
 
-use golf_micro::{corpus, run_benchmark, RunSettings};
 use golf_core::Session;
+use golf_micro::{corpus, run_benchmark, RunSettings};
 use golf_runtime::{PanicPolicy, Vm, VmConfig};
 
 #[test]

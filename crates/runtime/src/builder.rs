@@ -34,7 +34,13 @@ impl SelectSpec {
 
     /// Adds a `case v, ok := <-ch:` arm jumping to `target`.
     #[must_use]
-    pub fn recv_ok(mut self, ch: Var, dst: Option<Var>, ok_dst: Option<Var>, target: Label) -> Self {
+    pub fn recv_ok(
+        mut self,
+        ch: Var,
+        dst: Option<Var>,
+        ok_dst: Option<Var>,
+        target: Label,
+    ) -> Self {
         self.cases.push((SelOp::Recv { ch, dst, ok_dst }, target));
         self
     }
@@ -418,10 +424,7 @@ impl FuncBuilder {
             .map(|(op, label)| SelectCase { op, target: label.0 as usize })
             .collect();
         self.fixups.push(Fixup::Select(self.code.len()));
-        self.emit(Instr::Select {
-            cases,
-            default_target: spec.default.map(|l| l.0 as usize),
-        });
+        self.emit(Instr::Select { cases, default_target: spec.default.map(|l| l.0 as usize) });
     }
 
     /// `select {}` — blocks forever.

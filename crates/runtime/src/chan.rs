@@ -10,7 +10,8 @@ use crate::goroutine::{Blocked, Gid, WaitReason};
 use crate::instr::{SelOp, SelectCase};
 use crate::object::{ChanState, Object, WaitKind, Waiter};
 use crate::value::{Value, Var};
-use crate::vm::{Exec, Vm};
+use crate::vm::{go_id, Exec, Vm};
+use golf_trace::TraceEvent;
 use rand::Rng;
 
 impl Vm {
@@ -68,6 +69,9 @@ impl Vm {
             };
             self.deliver(w.gid, dst, ok_dst, v, true, w.select_target);
             self.wake(w.gid, w.token);
+            if self.trace_enabled() {
+                self.trace_emit(TraceEvent::ChanSend { gid: go_id(gid), chan: h });
+            }
             return Exec::Continue;
         }
         // Buffered channel with room.
@@ -76,6 +80,9 @@ impl Vm {
             if c.buf.len() < c.cap {
                 c.buf.push_back(v);
                 self.heap.refresh_size(h);
+                if self.trace_enabled() {
+                    self.trace_emit(TraceEvent::ChanSend { gid: go_id(gid), chan: h });
+                }
                 return Exec::Continue;
             }
         }
@@ -123,6 +130,9 @@ impl Vm {
             if let Some(o) = ok_dst {
                 self.write_var(gid, o, Value::Bool(true));
             }
+            if self.trace_enabled() {
+                self.trace_emit(TraceEvent::ChanRecv { gid: go_id(gid), chan: h });
+            }
             return Exec::Continue;
         }
         // Rendezvous with a parked sender (unbuffered, or racing on empty buffer).
@@ -140,6 +150,9 @@ impl Vm {
             }
             if let Some(o) = ok_dst {
                 self.write_var(gid, o, Value::Bool(true));
+            }
+            if self.trace_enabled() {
+                self.trace_emit(TraceEvent::ChanRecv { gid: go_id(gid), chan: h });
             }
             return Exec::Continue;
         }
@@ -177,6 +190,9 @@ impl Vm {
             return self.goroutine_panic(gid, "close of closed channel");
         }
         c.closed = true;
+        if self.trace_enabled() {
+            self.trace_emit(TraceEvent::ChanClose { gid: go_id(gid), chan: h });
+        }
         // Wake every parked receiver with the zero value (buffer is
         // necessarily empty when receivers are parked).
         while let Some(w) = self.pop_valid_waiter(h, true) {

@@ -79,11 +79,7 @@ impl Vm {
                 );
             }
             for &h in g.blocked.handles() {
-                let kind = self
-                    .heap()
-                    .get(h)
-                    .map(golf_heap::Trace::kind)
-                    .unwrap_or("<freed>");
+                let kind = self.heap().get(h).map(golf_heap::Trace::kind).unwrap_or("<freed>");
                 let _ = writeln!(out, "    blocked on {kind} {h}");
             }
         }

@@ -126,11 +126,7 @@ impl ProgramSet {
     /// Panics if a function with the same name is already defined.
     pub fn define(&mut self, builder: crate::builder::FuncBuilder) -> FuncId {
         let func = builder.finish();
-        assert!(
-            !self.by_name.contains_key(&func.name),
-            "function {} defined twice",
-            func.name
-        );
+        assert!(!self.by_name.contains_key(&func.name), "function {} defined twice", func.name);
         let id = FuncId(self.functions.len() as u32);
         self.by_name.insert(func.name.clone(), id);
         self.functions.push(func);

@@ -251,8 +251,7 @@ impl Goroutine {
     /// Whether this goroutine is currently a partial-deadlock candidate:
     /// parked at a deadlock-eligible concurrency operation.
     pub fn deadlock_candidate(&self) -> bool {
-        !self.internal
-            && self.wait_reason().is_some_and(WaitReason::deadlock_eligible)
+        !self.internal && self.wait_reason().is_some_and(WaitReason::deadlock_eligible)
     }
 
     /// Handles referenced by this goroutine's stack — the GC scans these
@@ -313,7 +312,12 @@ mod tests {
             locals: vec![Value::Int(1), Value::Ref(h1)],
             ret_dst: None,
         });
-        g.frames.push(Frame { func: FuncId(1), pc: 0, locals: vec![Value::Nil], ret_dst: Some(Var(0)) });
+        g.frames.push(Frame {
+            func: FuncId(1),
+            pc: 0,
+            locals: vec![Value::Nil],
+            ret_dst: Some(Var(0)),
+        });
         g.pending_lock = Some(h1);
         let roots: Vec<_> = g.stack_roots().collect();
         assert_eq!(roots, vec![h1, h1]);

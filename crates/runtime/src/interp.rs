@@ -4,7 +4,8 @@ use crate::goroutine::{Blocked, Gid, WaitReason};
 use crate::instr::{BinOp, Instr};
 use crate::object::Object;
 use crate::value::Value;
-use crate::vm::{Exec, Finalizer, Vm};
+use crate::vm::{go_id, Exec, Finalizer, Vm};
+use golf_trace::TraceEvent;
 use rand::Rng;
 
 impl Vm {
@@ -109,7 +110,7 @@ impl Vm {
             }
             Instr::Go { func, args, site } => {
                 let vals: Vec<Value> = args.iter().map(|a| self.read_var(gid, *a)).collect();
-                self.spawn(func, &vals, Some(site), false);
+                self.spawn(func, &vals, Some(site), false, Some(gid));
                 Exec::Continue
             }
             Instr::Yield => Exec::Yielded,
@@ -199,14 +200,16 @@ impl Vm {
                 let i = self.read_var(gid, idx).as_int().unwrap_or(-1);
                 match self.read_var(gid, slice) {
                     Value::Ref(h) => match self.heap.get(h) {
-                        Some(Object::Slice(vs)) => match usize::try_from(i).ok().and_then(|i| vs.get(i)) {
-                            Some(v) => {
-                                let v = *v;
-                                self.write_var(gid, dst, v);
-                                Exec::Continue
+                        Some(Object::Slice(vs)) => {
+                            match usize::try_from(i).ok().and_then(|i| vs.get(i)) {
+                                Some(v) => {
+                                    let v = *v;
+                                    self.write_var(gid, dst, v);
+                                    Exec::Continue
+                                }
+                                None => self.goroutine_panic(gid, "index out of range"),
                             }
-                            None => self.goroutine_panic(gid, "index out of range"),
-                        },
+                        }
                         _ => self.goroutine_panic(gid, "index of non-slice"),
                     },
                     _ => self.goroutine_panic(gid, "nil pointer dereference"),
@@ -285,9 +288,7 @@ impl Vm {
                         _ => self.goroutine_panic(gid, "assignment to non-map"),
                     },
                     // Writes to a nil map panic (Go semantics).
-                    Value::Nil => {
-                        self.goroutine_panic(gid, "assignment to entry in nil map")
-                    }
+                    Value::Nil => self.goroutine_panic(gid, "assignment to entry in nil map"),
                     _ => self.goroutine_panic(gid, "assignment to non-map"),
                 }
             }
@@ -359,8 +360,8 @@ impl Vm {
                 if let Some(assist) = self.config.assist {
                     let heap_bytes = self.heap.stats().heap_alloc_bytes;
                     if heap_bytes > assist.threshold_bytes {
-                        let stall = (bytes.saturating_mul(heap_bytes) / assist.scale.max(1))
-                            .min(200);
+                        let stall =
+                            (bytes.saturating_mul(heap_bytes) / assist.scale.max(1)).min(200);
                         if stall > 0 {
                             let wake = self.tick + stall;
                             self.park(gid, WaitReason::Sleep, Blocked::None);
@@ -386,6 +387,9 @@ impl Vm {
 
             Instr::MakeChan { dst, cap } => {
                 let h = self.heap.alloc(Object::chan(cap));
+                if self.trace_enabled() {
+                    self.trace_emit(TraceEvent::ChanMake { gid: go_id(gid), chan: h, cap });
+                }
                 self.write_var(gid, dst, Value::Ref(h));
                 Exec::Continue
             }
@@ -466,9 +470,8 @@ impl Vm {
             }
             Instr::NewWaitGroup(dst) => {
                 let sema = self.heap.alloc(Object::Sema);
-                let h = self
-                    .heap
-                    .alloc(Object::WaitGroup(crate::object::WgState { count: 0, sema }));
+                let h =
+                    self.heap.alloc(Object::WaitGroup(crate::object::WgState { count: 0, sema }));
                 self.write_var(gid, dst, Value::Ref(h));
                 Exec::Continue
             }
@@ -616,9 +619,6 @@ mod tests {
             eval_bin(BinOp::And, Value::Bool(true), Value::Int(0)),
             Some(Value::Bool(false))
         );
-        assert_eq!(
-            eval_bin(BinOp::Or, Value::Bool(false), Value::Int(7)),
-            Some(Value::Bool(true))
-        );
+        assert_eq!(eval_bin(BinOp::Or, Value::Bool(false), Value::Int(7)), Some(Value::Bool(true)));
     }
 }

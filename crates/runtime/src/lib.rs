@@ -82,7 +82,9 @@ pub use builder::{FuncBuilder, Label, SelectSpec};
 pub use func::{FuncId, Function, GlobalId, ProgramSet, SiteId, SiteInfo, StructType};
 pub use goroutine::{Blocked, Frame, GStatus, Gid, Goroutine, WaitReason};
 pub use instr::{BinOp, Instr, SelOp, SelectCase};
-pub use object::{ChanState, CondState, MutexState, Object, RwLockState, TypeId, WaitKind, Waiter, WgState};
+pub use object::{
+    ChanState, CondState, MutexState, Object, RwLockState, TypeId, WaitKind, Waiter, WgState,
+};
 pub use profile::ProfileEntry;
 pub use sema::{SemaTreap, SemaWaiter};
 pub use value::{Value, Var};

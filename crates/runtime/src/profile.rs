@@ -31,9 +31,15 @@ impl Vm {
             if g.internal {
                 continue;
             }
-            let Some(frame) = g.frames.last() else { continue };
-            // The pc was advanced past the blocking instruction when parking.
-            let loc = self.program.describe_loc(frame.func, frame.pc.saturating_sub(1));
+            // A blocked goroutine with no frames (e.g. mid-teardown) still
+            // counts; bucket it under a synthetic location rather than
+            // silently under-reporting.
+            let loc = match g.frames.last() {
+                // The pc was advanced past the blocking instruction when
+                // parking.
+                Some(frame) => self.program.describe_loc(frame.func, frame.pc.saturating_sub(1)),
+                None => "<no frames>".to_string(),
+            };
             let site = g.spawn_site.map(|s| self.program.site_info(s).label.clone());
             *buckets.entry((loc, reason, site)).or_insert(0) += 1;
         }
@@ -54,5 +60,47 @@ impl Vm {
     /// operations (the y-axis of the paper's Figure 1).
     pub fn blocked_count(&self) -> usize {
         self.live_goroutines().filter(|g| g.deadlock_candidate()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FuncBuilder;
+    use crate::func::ProgramSet;
+    use crate::goroutine::GStatus;
+    use crate::vm::{Vm, VmConfig};
+
+    /// A parked goroutine with an empty frame stack must still show up in
+    /// the profile (under the synthetic location) instead of being dropped.
+    #[test]
+    fn profile_buckets_frameless_blocked_goroutines() {
+        let mut p = ProgramSet::new();
+        let site = p.site("main:spawn");
+        let mut b = FuncBuilder::new("leaky", 1);
+        let ch = b.param(0);
+        let v = b.int(1);
+        b.send(ch, v);
+        let leaky = p.define(b);
+        let mut b = FuncBuilder::new("main", 0);
+        let ch = b.var("ch");
+        b.make_chan(ch, 0);
+        b.go(leaky, &[ch], site);
+        b.sleep(20);
+        b.ret(None);
+        p.define(b);
+
+        let mut vm = Vm::boot(p, VmConfig::default());
+        vm.run(10_000);
+        // Strip the parked goroutine's stack, simulating a frameless park.
+        for g in vm.goroutines.iter_mut() {
+            if matches!(g.status, GStatus::Waiting(_)) && !g.internal {
+                g.frames.clear();
+            }
+        }
+        let profile = vm.goroutine_profile();
+        assert_eq!(profile.len(), 1, "{profile:?}");
+        assert_eq!(profile[0].location, "<no frames>");
+        assert_eq!(profile[0].count, 1);
+        assert_eq!(profile[0].spawn_site.as_deref(), Some("main:spawn"));
     }
 }

@@ -102,10 +102,7 @@ impl Vm {
         }
         if scheduled == 0 {
             let time_can_pass = !self.timers.is_empty()
-                || self
-                    .goroutines
-                    .iter()
-                    .any(|g| g.status == GStatus::Waiting(WaitReason::Sleep));
+                || self.goroutines.iter().any(|g| g.status == GStatus::Waiting(WaitReason::Sleep));
             if !time_can_pass {
                 // fatal error: all goroutines are asleep - deadlock!
                 return TickStatus::GlobalDeadlock;
@@ -121,18 +118,20 @@ impl Vm {
     /// `golf_core::Session` for collected execution.
     pub fn run(&mut self, max_ticks: u64) -> RunOutcome {
         let start = self.tick;
-        loop {
+        let status = loop {
             match self.step_tick() {
                 TickStatus::Progress => {
                     if self.tick - start >= max_ticks {
-                        return self.outcome(RunStatus::TickLimit);
+                        break RunStatus::TickLimit;
                     }
                 }
-                TickStatus::MainDone => return self.outcome(RunStatus::MainDone),
-                TickStatus::GlobalDeadlock => return self.outcome(RunStatus::GlobalDeadlock),
-                TickStatus::Panicked => return self.outcome(RunStatus::Panicked),
+                TickStatus::MainDone => break RunStatus::MainDone,
+                TickStatus::GlobalDeadlock => break RunStatus::GlobalDeadlock,
+                TickStatus::Panicked => break RunStatus::Panicked,
             }
-        }
+        };
+        self.tracer.flush();
+        self.outcome(status)
     }
 
     fn outcome(&self, status: RunStatus) -> RunOutcome {

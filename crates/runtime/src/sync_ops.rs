@@ -10,13 +10,17 @@ use crate::goroutine::{Blocked, Gid, WaitReason};
 use crate::object::Object;
 use crate::sema::SemaWaiter;
 use crate::value::Value;
-use crate::vm::{Exec, Vm};
+use crate::vm::{go_id, Exec, Vm};
 use golf_heap::Handle;
+use golf_trace::TraceEvent;
 
 impl Vm {
     fn park_on_sema(&mut self, gid: Gid, sema: Handle, reason: WaitReason) -> Exec {
         let token = self.park(gid, reason, Blocked::Sema(sema));
         self.treap.enqueue(sema, SemaWaiter { gid, token });
+        if self.trace_enabled() {
+            self.trace_emit(TraceEvent::SemaEnqueue { gid: go_id(gid), sema });
+        }
         Exec::Parked
     }
 
@@ -24,6 +28,9 @@ impl Vm {
     fn dequeue_valid(&mut self, sema: Handle) -> Option<SemaWaiter> {
         while let Some(w) = self.treap.dequeue_first(sema) {
             if self.waiter_valid(w.gid, w.token) {
+                if self.trace_enabled() {
+                    self.trace_emit(TraceEvent::SemaDequeue { gid: go_id(w.gid), sema });
+                }
                 return Some(w);
             }
         }
@@ -185,7 +192,9 @@ impl Vm {
         if count == 0 {
             let waiters = self.treap.dequeue_all(sema);
             for w in waiters {
-                self.wake(w.gid, w.token);
+                if self.wake(w.gid, w.token) && self.trace_enabled() {
+                    self.trace_emit(TraceEvent::SemaDequeue { gid: go_id(w.gid), sema });
+                }
             }
         }
         Exec::Continue
@@ -241,7 +250,9 @@ impl Vm {
         if broadcast {
             let waiters = self.treap.dequeue_all(sema);
             for w in waiters {
-                self.wake(w.gid, w.token);
+                if self.wake(w.gid, w.token) && self.trace_enabled() {
+                    self.trace_emit(TraceEvent::SemaDequeue { gid: go_id(w.gid), sema });
+                }
             }
         } else if let Some(w) = self.dequeue_valid(sema) {
             self.wake(w.gid, w.token);

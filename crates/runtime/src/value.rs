@@ -21,7 +21,9 @@ use std::fmt;
 /// assert!(Value::Bool(true).truthy());
 /// assert!(!Value::Nil.truthy());
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum Value {
     /// The absence of a value — Go's `nil` and the zero value delivered by
     /// receives on closed channels.

@@ -7,11 +7,17 @@ use crate::object::Object;
 use crate::sema::SemaTreap;
 use crate::value::{Value, Var};
 use golf_heap::{Handle, Heap};
+use golf_trace::{GoId, TraceEvent, TraceSink, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Converts a runtime [`Gid`] into the trace crate's [`GoId`].
+pub(crate) fn go_id(gid: Gid) -> GoId {
+    GoId::new(gid.index(), gid.generation())
+}
 
 /// Finalizer payload attached to heap objects: the function to invoke with
 /// the object as its argument (`runtime.SetFinalizer`).
@@ -216,6 +222,7 @@ pub struct Vm {
     pub(crate) panics: Vec<PanicInfo>,
     pub(crate) gc_requested: bool,
     pub(crate) counters: VmCounters,
+    pub(crate) tracer: Tracer,
 }
 
 impl Vm {
@@ -257,8 +264,9 @@ impl Vm {
             panics: Vec::new(),
             gc_requested: false,
             counters: VmCounters::default(),
+            tracer: Tracer::new(),
         };
-        let main = vm.spawn(entry, args, None, false);
+        let main = vm.spawn(entry, args, None, false, None);
         vm.main = main;
         vm
     }
@@ -324,6 +332,41 @@ impl Vm {
         self.tick += dt;
     }
 
+    // ---- tracing ----
+
+    /// Installs (or removes) the execution-trace sink. Installing a sink
+    /// also turns on the flight recorder, so deadlock reports produced
+    /// while tracing carry event forensics.
+    pub fn set_trace_sink(&mut self, sink: Option<Box<dyn TraceSink>>) {
+        self.tracer.set_sink(sink);
+    }
+
+    /// Whether any trace consumer (sink or flight recorder) is attached.
+    #[inline(always)]
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Read access to this VM's tracer (flight recorder queries).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to this VM's tracer — the collector emits GC phase
+    /// and detection events through this.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Stamps `event` with the current tick and routes it to the attached
+    /// consumers. Callers must check [`Vm::trace_enabled`] first so the
+    /// disabled path does no event construction.
+    #[inline]
+    pub fn trace_emit(&mut self, event: TraceEvent) {
+        let tick = self.tick;
+        self.tracer.emit(tick, event);
+    }
+
     // ---- goroutine management ----
 
     /// Spawns a goroutine, recycling a dead slot when available (Go's `*g`
@@ -334,6 +377,7 @@ impl Vm {
         args: &[Value],
         site: Option<SiteId>,
         internal: bool,
+        parent: Option<Gid>,
     ) -> Gid {
         let f = self.program.func(func);
         assert_eq!(args.len(), f.n_params, "arity mismatch calling {}", f.name);
@@ -370,13 +414,22 @@ impl Vm {
         g.internal = internal;
         self.counters.spawned += 1;
         self.ready(gid);
+        if self.tracer.enabled() {
+            let event = TraceEvent::GoCreate {
+                gid: go_id(gid),
+                parent: parent.map(go_id),
+                func: self.program.func(func).name.clone(),
+                spawn_site: site.map(|s| self.program.site_info(s).label.clone()),
+            };
+            self.trace_emit(event);
+        }
         gid
     }
 
     /// Spawns a runtime-internal goroutine (finalizer runner etc.). Internal
     /// goroutines are never deadlock candidates.
     pub fn spawn_internal(&mut self, func: FuncId, args: &[Value]) -> Gid {
-        self.spawn(func, args, None, true)
+        self.spawn(func, args, None, true, None)
     }
 
     /// Looks up a goroutine. Returns `None` for stale gids (recycled slots).
@@ -427,11 +480,21 @@ impl Vm {
     /// past the blocking instruction, so waking resumes *after* it.
     pub(crate) fn park(&mut self, gid: Gid, reason: WaitReason, blocked: Blocked) -> u64 {
         self.counters.parks += 1;
+        let traced = self.tracer.enabled();
+        let objects = if traced { blocked.handles().to_vec() } else { Vec::new() };
         let g = self.g_mut(gid).expect("parking a stale goroutine");
         g.wait_token += 1;
         g.status = GStatus::Waiting(reason);
         g.blocked = blocked;
-        g.wait_token
+        let token = g.wait_token;
+        if traced {
+            self.trace_emit(TraceEvent::GoBlock {
+                gid: go_id(gid),
+                reason: reason.as_str(),
+                objects,
+            });
+        }
+        token
     }
 
     /// Wakes a parked goroutine if `token` is still current. Returns whether
@@ -447,6 +510,9 @@ impl Vm {
         g.wake_tick = None;
         self.counters.wakes += 1;
         self.ready(gid);
+        if self.tracer.enabled() {
+            self.trace_emit(TraceEvent::GoUnblock { gid: go_id(gid) });
+        }
         true
     }
 
@@ -471,6 +537,9 @@ impl Vm {
         self.gfree.push(idx);
         if is_main {
             self.main_done = true;
+        }
+        if self.tracer.enabled() {
+            self.trace_emit(TraceEvent::GoEnd { gid: go_id(gid) });
         }
     }
 
@@ -506,6 +575,9 @@ impl Vm {
         g.wait_token += 1;
         self.gfree.push(gid.index());
         self.counters.forced_shutdowns += 1;
+        if self.tracer.enabled() {
+            self.trace_emit(TraceEvent::Reclaimed { gid: go_id(gid) });
+        }
     }
 
     /// Transitions a goroutine to the permanent `Deadlocked` state (kept

@@ -184,8 +184,7 @@ fn once_runs_exactly_once_across_goroutines() {
     for procs in [1usize, 4] {
         for seed in [0u64, 11, 97] {
             let (p, out) = once_program();
-            let mut vm =
-                Vm::boot(p, VmConfig { gomaxprocs: procs, seed, ..VmConfig::default() });
+            let mut vm = Vm::boot(p, VmConfig { gomaxprocs: procs, seed, ..VmConfig::default() });
             assert_eq!(vm.run(100_000).status, RunStatus::MainDone);
             assert_eq!(vm.global(out), Value::Int(1), "procs={procs} seed={seed}");
         }

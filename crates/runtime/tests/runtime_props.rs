@@ -2,9 +2,7 @@
 //! FIFO order, value conservation across producer/consumer fleets, and
 //! whole-VM determinism.
 
-use golf_runtime::{
-    BinOp, FuncBuilder, ProgramSet, RunStatus, Value, Vm, VmConfig,
-};
+use golf_runtime::{BinOp, FuncBuilder, ProgramSet, RunStatus, Value, Vm, VmConfig};
 use proptest::prelude::*;
 
 /// Builds a producer/consumer program: `producers` goroutines send

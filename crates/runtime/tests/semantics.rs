@@ -2,8 +2,7 @@
 //! channel/select/sync behaviour and scheduler properties.
 
 use golf_runtime::{
-    BinOp, FuncBuilder, GStatus, ProgramSet, RunStatus, SelectSpec, Value, Vm, VmConfig,
-    WaitReason,
+    BinOp, FuncBuilder, GStatus, ProgramSet, RunStatus, SelectSpec, Value, Vm, VmConfig, WaitReason,
 };
 
 fn boot(p: ProgramSet) -> Vm {

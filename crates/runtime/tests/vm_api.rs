@@ -2,9 +2,7 @@
 //! points, internal goroutines, forced shutdown, wait-queue inspection and
 //! time control.
 
-use golf_runtime::{
-    FuncBuilder, GStatus, ProgramSet, RunStatus, Value, Vm, VmConfig, WaitReason,
-};
+use golf_runtime::{FuncBuilder, GStatus, ProgramSet, RunStatus, Value, Vm, VmConfig, WaitReason};
 
 #[test]
 fn boot_with_entry_passes_arguments() {
@@ -43,10 +41,7 @@ fn internal_goroutines_are_invisible_to_profiles() {
     vm.spawn_internal(internal_worker, &[]);
     vm.run(100);
 
-    let parked = vm
-        .live_goroutines()
-        .find(|g| g.internal)
-        .expect("internal goroutine exists");
+    let parked = vm.live_goroutines().find(|g| g.internal).expect("internal goroutine exists");
     assert_eq!(parked.status, GStatus::Waiting(WaitReason::ChanReceive));
     // …but it is neither a deadlock candidate nor profiled nor counted.
     assert!(!parked.deadlock_candidate());
@@ -87,11 +82,7 @@ fn force_shutdown_unlinks_chan_waiters() {
     while vm.blocked_count() == 0 && vm.now() < 100 {
         vm.step_tick();
     }
-    let victim = vm
-        .live_goroutines()
-        .find(|g| g.id != vm.main_gid())
-        .expect("receiver parked")
-        .id;
+    let victim = vm.live_goroutines().find(|g| g.id != vm.main_gid()).expect("receiver parked").id;
     vm.force_shutdown(victim);
     // The slot stays addressable (until reuse) but is dead and delisted.
     assert_eq!(vm.goroutine(victim).unwrap().status, GStatus::Dead);

@@ -29,4 +29,6 @@ pub mod service;
 pub mod table2;
 pub mod testcorpus;
 
-pub use service::{boot_service, build_service, read_completed, read_latencies, ServiceConfig, ServiceGlobals};
+pub use service::{
+    boot_service, build_service, read_completed, read_latencies, ServiceConfig, ServiceGlobals,
+};

@@ -138,9 +138,10 @@ fn build_production(config: &ProductionConfig) -> (ProgramSet, ServiceGlobals) {
     let base_think = c.think_ticks.max(1) as f64;
     let schedule_vals: Vec<i64> = (0..config.windows)
         .map(|w| {
-            let phase =
-                (w % config.diurnal_period) as f64 / config.diurnal_period as f64 * std::f64::consts::TAU;
-            let factor = 1.0 + config.diurnal_amplitude * 0.5 * (1.0 - phase.cos()) / 2.0
+            let phase = (w % config.diurnal_period) as f64 / config.diurnal_period as f64
+                * std::f64::consts::TAU;
+            let factor = 1.0
+                + config.diurnal_amplitude * 0.5 * (1.0 - phase.cos()) / 2.0
                 + config.diurnal_amplitude * 0.5 * ((w * 2654435761) % 97) as f64 / 970.0;
             (base_think * factor).round().max(1.0) as i64
         })

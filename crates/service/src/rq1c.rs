@@ -236,8 +236,8 @@ pub fn run_rq1c(config: &Rq1cConfig) -> Rq1cResult {
         }
         session.collect();
         individual += session.reports().len();
-        for (key, count) in golf_core::dedup_counts(session.reports()) {
-            *by_location.entry(key).or_insert(0) += count;
+        for ((block, site), count) in golf_core::dedup_counts(session.reports()) {
+            *by_location.entry((block.to_string(), site.to_string())).or_insert(0) += count;
         }
         // Count served requests via the instrumented counter.
         if let golf_runtime::Value::Ref(h) = session.vm().global(served_global) {
@@ -268,8 +268,7 @@ mod tests {
         assert_eq!(r.by_location.len(), 3, "{:#?}", r.by_location);
         assert!(r.individual_reports > 10, "{}", r.individual_reports);
         assert!(r.requests_served > 100);
-        let sites: Vec<&str> =
-            r.by_location.keys().map(|(_, site)| site.as_str()).collect();
+        let sites: Vec<&str> = r.by_location.keys().map(|(_, site)| site.as_str()).collect();
         assert!(sites.contains(&"SendEmail:104"));
         assert!(sites.contains(&"AuditLog:77"));
         assert!(sites.contains(&"NotifyPeer:58"));

@@ -11,7 +11,6 @@
 
 use golf_runtime::{BinOp, FuncBuilder, GlobalId, ProgramSet, SelectSpec, Value, Vm, VmConfig};
 
-
 /// Workload parameters. One scheduler tick models one millisecond.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {

@@ -4,6 +4,7 @@
 use crate::service::{boot_service, read_latencies, ServiceConfig};
 use golf_core::{GcMode, GolfConfig, PacerConfig, Session};
 use golf_metrics::{percentile, Align, Table};
+use golf_trace::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 /// Experiment parameters (beyond the service workload itself).
@@ -80,6 +81,23 @@ pub struct ServerMetrics {
     pub deadlocks_detected: u64,
     /// Deadlocked goroutines reclaimed (GOLF only).
     pub deadlocks_reclaimed: u64,
+}
+
+impl ServerMetrics {
+    /// Publishes this MemStats snapshot into a [`MetricsRegistry`] under
+    /// `prefix` (e.g. `"golf.leak100."`): point-in-time sizes as gauges,
+    /// cumulative GC/deadlock figures as counters. Names mirror Go's
+    /// `runtime.MemStats` fields.
+    pub fn publish(&self, prefix: &str, registry: &mut MetricsRegistry) {
+        registry.set_gauge(&format!("{prefix}stack_inuse_bytes"), self.stack_inuse_bytes as i64);
+        registry.set_gauge(&format!("{prefix}heap_alloc_bytes"), self.heap_alloc_bytes as i64);
+        registry.set_gauge(&format!("{prefix}heap_objects"), self.heap_objects as i64);
+        registry.set_gauge(&format!("{prefix}blocked_goroutines"), self.blocked_goroutines as i64);
+        registry.add(&format!("{prefix}pause_total_ns"), self.pause_total_ns);
+        registry.add(&format!("{prefix}num_gc"), self.num_gc);
+        registry.add(&format!("{prefix}deadlocks_detected"), self.deadlocks_detected);
+        registry.add(&format!("{prefix}deadlocks_reclaimed"), self.deadlocks_reclaimed);
+    }
 }
 
 /// One scenario's results.
@@ -183,6 +201,18 @@ pub fn run_table2(config: &Table2Config) -> Table2 {
 }
 
 impl Table2 {
+    /// All scenarios' server-side MemStats snapshots in one registry, keyed
+    /// `{base|golf}.leak{rate}.{field}` — the service's expvar-style export.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        for s in &self.scenarios {
+            let collector = if s.golf { "golf" } else { "base" };
+            let prefix = format!("{collector}.leak{}.", s.leak_per_mille);
+            s.server.publish(&prefix, &mut registry);
+        }
+        registry
+    }
+
     /// Renders the paper-style comparison. For each leak rate, Base (B) and
     /// GOLF (G) columns plus the B/G ratio.
     pub fn render(&self) -> String {
@@ -317,5 +347,11 @@ mod tests {
         let rendered = t.render();
         assert!(rendered.contains("Leaks in 10% of requests"));
         assert!(rendered.contains("HeapAlloc"));
+        // The MemStats registry export carries every scenario.
+        let registry = t.metrics();
+        assert!(registry.gauge("golf.leak100.heap_alloc_bytes").is_some());
+        assert!(registry.counter("golf.leak100.deadlocks_reclaimed") > 0);
+        assert_eq!(registry.counter("golf.leak0.deadlocks_detected"), 0);
+        assert!(registry.gauge("base.leak0.heap_objects").is_some());
     }
 }

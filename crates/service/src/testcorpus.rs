@@ -172,10 +172,8 @@ pub fn run_corpus(config: &CorpusConfig) -> CorpusResult {
         pool.push(SiteSpec { id, miss_rate: 1.0 });
     }
     // Selection weights: visible sites are hotter.
-    let weights: Vec<f64> = pool
-        .iter()
-        .map(|s| if s.miss_rate < 1.0 { config.visible_weight } else { 1.0 })
-        .collect();
+    let weights: Vec<f64> =
+        pool.iter().map(|s| if s.miss_rate < 1.0 { config.visible_weight } else { 1.0 }).collect();
     let total_weight: f64 = weights.iter().sum();
     let pick_site = |rng: &mut StdRng| -> SiteSpec {
         let mut x = rng.gen_range(0.0..total_weight);
@@ -199,10 +197,7 @@ pub fn run_corpus(config: &CorpusConfig) -> CorpusResult {
             let occurrences: Vec<Occurrence> = (0..n_occ)
                 .map(|_| {
                     let site = pick_site(&mut rng);
-                    Occurrence {
-                        site: site.id,
-                        shielded: rng.gen_bool(site.miss_rate),
-                    }
+                    Occurrence { site: site.id, shielded: rng.gen_bool(site.miss_rate) }
                 })
                 .collect();
 
@@ -219,10 +214,10 @@ pub fn run_corpus(config: &CorpusConfig) -> CorpusResult {
             session.collect();
 
             for r in session.reports() {
-                *golf_counts.entry(r.dedup_key()).or_insert(0) += 1;
+                *golf_counts.entry(r.dedup_key_owned()).or_insert(0) += 1;
             }
             for l in find_leaks(session.vm(), GoleakOptions::default()) {
-                *goleak_counts.entry(l.dedup_key()).or_insert(0) += 1;
+                *goleak_counts.entry(l.dedup_key_owned()).or_insert(0) += 1;
             }
             tests_run += 1;
         }

@@ -27,17 +27,11 @@ fn goleak_confirms_what_golf_reclaims() {
     let mut session = Session::golf_report_only(vm);
     session.run(2_000);
     session.collect();
-    let reported: std::collections::HashSet<_> =
-        session.reports().iter().map(|r| r.gid).collect();
+    let reported: std::collections::HashSet<_> = session.reports().iter().map(|r| r.gid).collect();
     assert!(!reported.is_empty());
     let goleak: std::collections::HashSet<_> =
         find_leaks(session.vm(), GoleakOptions::default()).iter().map(|l| l.gid).collect();
-    assert!(
-        reported.is_subset(&goleak),
-        "GOLF ⊆ GOLEAK violated: {:?} vs {:?}",
-        reported,
-        goleak
-    );
+    assert!(reported.is_subset(&goleak), "GOLF ⊆ GOLEAK violated: {:?} vs {:?}", reported, goleak);
 }
 
 #[test]
@@ -63,7 +57,8 @@ fn scenario_metrics_are_internally_consistent() {
 
 #[test]
 fn longrun_is_deterministic_per_seed() {
-    let config = LongRunConfig { days: 5, day_ticks: 500, samples_per_day: 5, ..LongRunConfig::default() };
+    let config =
+        LongRunConfig { days: 5, day_ticks: 500, samples_per_day: 5, ..LongRunConfig::default() };
     let a = run_longrun(&config);
     let b = run_longrun(&config);
     assert_eq!(a.points(), b.points());

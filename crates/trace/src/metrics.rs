@@ -1,0 +1,136 @@
+//! Lightweight counter/gauge registry for runtime- and GC-level metrics.
+//!
+//! A deliberately small expvar-style registry: named monotonic counters and
+//! point-in-time gauges, snapshotable and renderable as stable text. The
+//! service simulator publishes its MemStats mirror here; the GC publishes
+//! cycle totals.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Named monotonic counters and signed gauges.
+///
+/// Keys are ordered (`BTreeMap`), so snapshots and text rendering are
+/// deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds 1 to counter `name`, creating it at zero first if needed.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: i64) {
+        match self.gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, name-ordered.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another registry into this one (counters add, gauges take the
+    /// other's value).
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.set_gauge(k, *v);
+        }
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    /// Renders `name value` lines: counters first, then gauges, each block
+    /// name-ordered.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "{k} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.inc("gc.cycles");
+        m.add("gc.cycles", 2);
+        m.set_gauge("mem.heap_alloc_bytes", 100);
+        m.set_gauge("mem.heap_alloc_bytes", 40);
+        assert_eq!(m.counter("gc.cycles"), 3);
+        assert_eq!(m.gauge("mem.heap_alloc_bytes"), Some(40));
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_ordered() {
+        let mut m = MetricsRegistry::new();
+        m.inc("b");
+        m.inc("a");
+        m.set_gauge("z", -1);
+        assert_eq!(m.to_string(), "a 1\nb 1\nz -1\n");
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_overwrites_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.add("n", 1);
+        a.set_gauge("g", 1);
+        let mut b = MetricsRegistry::new();
+        b.add("n", 2);
+        b.set_gauge("g", 9);
+        a.absorb(&b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.gauge("g"), Some(9));
+    }
+}

@@ -1,0 +1,164 @@
+//! Trace sinks: where emitted records go.
+
+use crate::event::TraceRecord;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Consumer of trace records.
+///
+/// Sinks are injected into the runtime (see `Vm::set_trace_sink` /
+/// `Session::set_trace_sink`); the tracer only constructs and forwards
+/// records while a sink is installed, so the uninstrumented fast path stays
+/// free of allocation and I/O.
+pub trait TraceSink: Send {
+    /// Consumes one record.
+    fn emit(&mut self, record: &TraceRecord);
+
+    /// Flushes buffered output, if any.
+    fn flush(&mut self) {}
+}
+
+/// Sink that discards everything; the explicit "tracing off" sink.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&mut self, _record: &TraceRecord) {}
+}
+
+/// Sink that streams records as JSON Lines to a writer.
+pub struct JsonlSink<W: Write + Send> {
+    // `None` only after `into_inner`; lets Drop flush without blocking the
+    // move out.
+    writer: Option<W>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) `path` and streams JSONL to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer: Some(writer) }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let mut writer = self.writer.take().expect("writer already taken");
+        let _ = writer.flush();
+        writer
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, record: &TraceRecord) {
+        // Trace I/O must never kill the traced program; drop the line on
+        // write failure like Go's tracer does on a full pipe.
+        if let Some(writer) = &mut self.writer {
+            let _ = writeln!(writer, "{}", record.to_jsonl());
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(writer) = &mut self.writer {
+            let _ = writer.flush();
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(writer) = &mut self.writer {
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// Cloneable JSONL sink writing through a shared, locked writer.
+///
+/// The bench drivers run many sessions (one per benchmark × run) that should
+/// all append to the same `--trace` file; each session gets a clone of this
+/// sink.
+#[derive(Clone)]
+pub struct SharedJsonlSink {
+    writer: Arc<Mutex<BufWriter<File>>>,
+}
+
+impl SharedJsonlSink {
+    /// Creates (truncating) `path`; clones share one buffered writer.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(SharedJsonlSink { writer: Arc::new(Mutex::new(BufWriter::new(File::create(path)?))) })
+    }
+}
+
+impl std::fmt::Debug for SharedJsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedJsonlSink")
+    }
+}
+
+impl TraceSink for SharedJsonlSink {
+    fn emit(&mut self, record: &TraceRecord) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = writeln!(w, "{}", record.to_jsonl());
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Sink that collects records into memory; used by tests.
+#[derive(Clone, Default)]
+pub struct VecSink {
+    records: Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+impl VecSink {
+    /// Creates an empty collecting sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Snapshot of everything emitted so far.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.lock().expect("VecSink poisoned").clone()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn emit(&mut self, record: &TraceRecord) {
+        self.records.lock().expect("VecSink poisoned").push(record.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{GoId, TraceEvent};
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for seq in 0..3 {
+            sink.emit(&TraceRecord {
+                tick: 9,
+                seq,
+                event: TraceEvent::GoEnd { gid: GoId::new(1, 0) },
+            });
+        }
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

@@ -68,7 +68,11 @@ fn main() {
 
     println!("GOLF (sound, in production, can reclaim):");
     for r in session.reports() {
-        println!("  partial deadlock at {} (spawned at {})", r.block_location, r.spawn_site.as_deref().unwrap_or("?"));
+        println!(
+            "  partial deadlock at {} (spawned at {})",
+            r.block_location,
+            r.spawn_site.as_deref().unwrap_or("?")
+        );
     }
 
     println!("\nGOLEAK (complete, test-time only):");

@@ -59,10 +59,8 @@ fn main() {
 
     println!("=== goroutine dump (mid-leak) ===\n{}", vm.dump_state());
 
-    let mut gc = GcEngine::new(
-        GcMode::Golf,
-        GolfConfig { reclaim: false, ..GolfConfig::default() },
-    );
+    let mut gc =
+        GcEngine::new(GcMode::Golf, GolfConfig { reclaim: false, ..GolfConfig::default() });
     let stats = gc.collect(&mut vm);
     println!("=== gctrace ===\n{stats}\n");
     println!("=== reports ===");

@@ -8,8 +8,8 @@
 //! Run with: `cargo run --release --example service_leak`
 
 use golf::core::Session;
-use golf::service::{boot_service, read_latencies, ServiceConfig};
 use golf::metrics::percentile;
+use golf::service::{boot_service, read_latencies, ServiceConfig};
 
 fn run(golf: bool) {
     let config = ServiceConfig {

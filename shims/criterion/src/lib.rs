@@ -1,0 +1,170 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock harness covering the criterion API the bench targets
+//! use: `Criterion::benchmark_group`, `bench_with_input` / `bench_function`,
+//! `BenchmarkId`, `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark point runs
+//! for a short fixed budget and reports mean ns/iteration to stdout. When the
+//! binary is invoked with `--test` (as `cargo test --benches` does), every
+//! routine runs exactly once so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering, as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark measurement budget in bench mode.
+const MEASURE_BUDGET: Duration = Duration::from_millis(25);
+
+/// Top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test" || a == "--list");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmark points.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), test_mode: self.test_mode }
+    }
+}
+
+/// Identifier for one benchmark point: `function/parameter`.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter into an id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { repr: format!("{function}/{parameter}") }
+    }
+}
+
+/// A named set of benchmark points.
+pub struct BenchmarkGroup {
+    name: String,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup {
+    /// Measures `f` against `input` under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.test_mode);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.repr);
+        self
+    }
+
+    /// Measures a parameterless routine under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.test_mode);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// How batched inputs are sized; only a hint, accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(test_mode: bool) -> Self {
+        Bencher { test_mode, total: Duration::ZERO, iters: 0 }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iters += 1;
+            self.total = start.elapsed();
+            if self.test_mode || self.total >= MEASURE_BUDGET {
+                break;
+            }
+        }
+    }
+
+    /// Times repeated calls of `routine` on fresh inputs from `setup`,
+    /// excluding setup time from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if self.test_mode || self.total >= MEASURE_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no iterations recorded");
+            return;
+        }
+        let mean = self.total.as_nanos() / u128::from(self.iters);
+        println!("{group}/{id}: {mean} ns/iter ({} iterations)", self.iters);
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, as
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, as `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

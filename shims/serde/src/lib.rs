@@ -1,0 +1,7 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports the inert `Serialize` / `Deserialize` derive macros. The
+//! workspace decorates types with these derives but never calls any serde
+//! serialization machinery, so no traits are required.
+
+pub use serde_derive::{Deserialize, Serialize};

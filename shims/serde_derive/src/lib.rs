@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a marker on
+//! plain data types — it never serializes through serde — so both derives
+//! expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Inert stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

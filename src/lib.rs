@@ -19,6 +19,9 @@
 //! * [`micro`] — the 73-benchmark corpus and RQ1(a)/RQ2 harnesses.
 //! * [`service`] — the simulated production service and synthetic
 //!   test-suite corpus for RQ1(b)-(c) and RQ2.
+//! * [`trace`] — structured execution tracer (Go `runtime/trace`
+//!   analogue): event vocabulary, JSONL sinks, bounded flight recorder,
+//!   and a counter/gauge metrics registry.
 //!
 //! ## Quickstart
 //!
@@ -67,3 +70,4 @@ pub use golf_metrics as metrics;
 pub use golf_micro as micro;
 pub use golf_runtime as runtime;
 pub use golf_service as service;
+pub use golf_trace as trace;

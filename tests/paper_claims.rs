@@ -14,7 +14,9 @@ fn table1_deterministic_benchmarks_are_always_detected() {
     let all = corpus();
     let subset: Vec<_> = all
         .into_iter()
-        .filter(|b| ["cgo/double-send", "cockroach/584", "moby/21233", "etcd/7902"].contains(&b.name))
+        .filter(|b| {
+            ["cgo/double-send", "cockroach/584", "moby/21233", "etcd/7902"].contains(&b.name)
+        })
         .collect();
     assert_eq!(subset.len(), 4);
     let t = golf::micro::run_table1_on(
@@ -48,10 +50,9 @@ fn golf_reports_are_a_subset_of_goleak() {
         let mut session = Session::golf_report_only(vm);
         session.run(3_000);
         session.collect();
-        let goleak_keys: std::collections::HashSet<_> = find_leaks(session.vm(), GoleakOptions::default())
-            .iter()
-            .map(|l| l.dedup_key())
-            .collect();
+        let leaks = find_leaks(session.vm(), GoleakOptions::default());
+        let goleak_keys: std::collections::HashSet<_> =
+            leaks.iter().map(|l| l.dedup_key()).collect();
         for r in session.reports() {
             assert!(
                 goleak_keys.contains(&r.dedup_key()),
