@@ -13,6 +13,9 @@
 //! | `-perf`             | `--perf` (Mark clock ON/OFF CSV)      |
 //! | (GOMAXPROCS sweep)  | `--procs 1,2,4,10`                    |
 //! | (no equivalent)     | `--trace <path>` (JSONL event trace)  |
+//! | (no equivalent)     | `--seed <n>` (base seed)              |
+//! | (no equivalent)     | `--mark-workers <n>` (parallel mark)  |
+//! | (no equivalent)     | `--shard-bits <n>` (heap shard size)  |
 //!
 //! ```text
 //! cargo run --release -p golf-bench --bin golf_tester -- \
@@ -20,6 +23,7 @@
 //! ```
 
 use golf_bench::{arg_value, parse_list};
+use golf_core::MarkConfig;
 use golf_micro::{corpus, run_perf_comparison, PerfSettings, Table1Config};
 use golf_trace::SharedJsonlSink;
 
@@ -30,6 +34,16 @@ fn main() {
     let pattern = arg_value(&args, "--match");
     let report_path = arg_value(&args, "--report");
     let perf_mode = args.iter().any(|a| a == "--perf");
+    let base_seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(Table1Config::default().base_seed);
+    let mut mark = MarkConfig::default();
+    if let Some(w) = arg_value(&args, "--mark-workers").and_then(|v| v.parse().ok()) {
+        mark.workers = w;
+    }
+    if let Some(b) = arg_value(&args, "--shard-bits").and_then(|v| v.parse().ok()) {
+        mark.shard_bits = b;
+    }
     let trace = arg_value(&args, "--trace").map(|path| {
         let sink = SharedJsonlSink::create(&path)
             .unwrap_or_else(|e| panic!("golf-tester: cannot create trace file {path}: {e}"));
@@ -89,7 +103,7 @@ fn main() {
     );
     let table = golf_micro::run_table1_on(
         &benchmarks,
-        &Table1Config { procs, runs: repeats, trace, ..Table1Config::default() },
+        &Table1Config { procs, runs: repeats, trace, base_seed, mark, ..Table1Config::default() },
     );
 
     let mut out = table.render();

@@ -1,0 +1,237 @@
+//! Mark-phase scaling benchmark: drives the sharded parallel
+//! [`MarkEngine`](golf_core::MarkEngine) over a large synthetic heap at
+//! several worker counts and writes `BENCH_mark.json`.
+//!
+//! Because the engine simulates its workers deterministically on one
+//! thread, parallel speed is reported as *modeled* throughput — total work
+//! items divided by the critical-path `span` (per lock-step round, the
+//! maximum items any worker processed). This mirrors the repository's
+//! `modeled_stw_ns` convention: wall-clock on the simulation thread cannot
+//! shrink with worker count, but the modeled mark-phase critical path does,
+//! and that is the quantity the CI gate checks.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p golf-bench --bin mark_scaling -- \
+//!     [--objects 200000] [--workers 1,2,4] [--seed 7] [--out BENCH_mark.json]
+//! ```
+//!
+//! Exits non-zero when the modeled speedup at the highest worker count
+//! (vs. one worker) falls below the 1.5x gate, or when any configuration
+//! disagrees on the marked set — so CI can use this binary directly.
+
+use golf_bench::{arg_value, parse_list};
+use golf_core::{MarkConfig, MarkEngine};
+use golf_heap::{Handle, Heap, Trace};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Minimal traceable object: a node with outgoing edges.
+struct Node {
+    children: Vec<Handle>,
+}
+
+impl Trace for Node {
+    fn trace(&self, visit: &mut dyn FnMut(Handle)) {
+        for &c in &self.children {
+            visit(c);
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Builds a mixed synthetic heap of roughly `objects` nodes: wide two-level
+/// trees (parallel-friendly), long serial chains (steal-hostile critical
+/// paths), and a sprinkle of random cross-edges so the graph is neither a
+/// forest nor regular. Everything is reachable from the returned roots.
+fn build_graph(heap: &mut Heap<Node>, objects: usize, seed: u64) -> (Vec<Handle>, u64) {
+    const FANOUT: usize = 32;
+    const CHAIN: usize = 256;
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng = splitmix64(rng);
+        rng
+    };
+    let mut roots = Vec::new();
+    let mut all: Vec<Handle> = Vec::with_capacity(objects);
+    let mut edges = 0u64;
+    while all.len() < objects {
+        if next() % 3 == 0 {
+            // A serial chain: work that only one worker can advance.
+            let mut tail = heap.alloc(Node { children: Vec::new() });
+            all.push(tail);
+            for _ in 0..CHAIN.min(objects.saturating_sub(all.len())) {
+                tail = heap.alloc(Node { children: vec![tail] });
+                all.push(tail);
+                edges += 1;
+            }
+            roots.push(tail);
+        } else {
+            // A wide two-level tree: embarrassingly parallel marking.
+            let kids: Vec<Handle> = (0..FANOUT)
+                .map(|_| {
+                    let grandkids: Vec<Handle> =
+                        (0..4).map(|_| heap.alloc(Node { children: Vec::new() })).collect();
+                    all.extend(&grandkids);
+                    edges += grandkids.len() as u64;
+                    let k = heap.alloc(Node { children: grandkids });
+                    all.push(k);
+                    k
+                })
+                .collect();
+            edges += kids.len() as u64;
+            let top = heap.alloc(Node { children: kids });
+            all.push(top);
+            roots.push(top);
+        }
+    }
+    // Random cross-edges: shared children exercise the already-marked check.
+    for _ in 0..objects / 8 {
+        let a = all[(next() % all.len() as u64) as usize];
+        let b = all[(next() % all.len() as u64) as usize];
+        if let Some(node) = heap.get_mut(a) {
+            node.children.push(b);
+            edges += 1;
+        }
+    }
+    (roots, edges)
+}
+
+struct ConfigResult {
+    workers: usize,
+    wall_ns: u128,
+    marked: u64,
+    traversals: u64,
+    work: u64,
+    span: u64,
+    rounds: u64,
+    steals: u64,
+    newly: Vec<Handle>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let objects: usize =
+        arg_value(&args, "--objects").and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    let workers = arg_value(&args, "--workers").map(|v| parse_list(&v)).unwrap_or(vec![1, 2, 4]);
+    let seed: u64 = arg_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_mark.json".into());
+
+    let mut heap: Heap<Node> = Heap::new();
+    let (roots, edges) = build_graph(&mut heap, objects, seed);
+    eprintln!(
+        "mark_scaling: {} objects, {} edges, {} roots, workers {:?}, seed {}",
+        heap.len(),
+        edges,
+        roots.len(),
+        workers,
+        seed
+    );
+
+    let mut results: Vec<ConfigResult> = Vec::new();
+    for &w in &workers {
+        heap.clear_marks();
+        let cfg = MarkConfig::with_workers(w.max(1));
+        let mut engine = MarkEngine::new(cfg, seed);
+        let t0 = Instant::now();
+        for &r in &roots {
+            engine.push_root(r);
+        }
+        engine.drain(&mut heap);
+        let wall_ns = t0.elapsed().as_nanos();
+        results.push(ConfigResult {
+            workers: w,
+            wall_ns,
+            marked: engine.marked(),
+            traversals: engine.traversals(),
+            work: engine.work(),
+            span: engine.span(),
+            rounds: engine.rounds(),
+            steals: engine.steals(),
+            newly: engine.take_newly_marked(),
+        });
+    }
+
+    // Every configuration must agree on the outcome — this is the
+    // determinism half of the gate.
+    let base = &results[0];
+    for r in &results[1..] {
+        if r.marked != base.marked || r.traversals != base.traversals || r.newly != base.newly {
+            eprintln!(
+                "mark_scaling: FAIL — workers={} disagrees with workers={} \
+                 (marked {} vs {}, traversals {} vs {})",
+                r.workers, base.workers, r.marked, base.marked, r.traversals, base.traversals
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let span_of = |w: usize| results.iter().find(|r| r.workers == w).map(|r| r.span);
+    let w_lo = *workers.iter().min().unwrap_or(&1);
+    let w_hi = *workers.iter().max().unwrap_or(&1);
+    let speedup = match (span_of(w_lo), span_of(w_hi)) {
+        (Some(s1), Some(sn)) if sn > 0 => s1 as f64 / sn as f64,
+        _ => 1.0,
+    };
+    const TARGET: f64 = 1.5;
+    let meets = speedup >= TARGET || w_hi == w_lo;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"objects\": {},", heap.len());
+    let _ = writeln!(json, "  \"edges\": {edges},");
+    let _ = writeln!(json, "  \"roots\": {},", roots.len());
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    json.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let throughput = if r.span > 0 { r.work as f64 / r.span as f64 } else { 0.0 };
+        let _ = write!(
+            json,
+            "    {{\"workers\": {}, \"wall_ns\": {}, \"marked\": {}, \"traversals\": {}, \
+             \"work\": {}, \"span\": {}, \"rounds\": {}, \"steals\": {}, \
+             \"modeled_throughput\": {:.4}}}",
+            r.workers,
+            r.wall_ns,
+            r.marked,
+            r.traversals,
+            r.work,
+            r.span,
+            r.rounds,
+            r.steals,
+            throughput
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"speedup_modeled\": {{\"from_workers\": {w_lo}, \"to_workers\": {w_hi}, \"speedup\": {speedup:.4}}},");
+    let _ = writeln!(json, "  \"target_speedup\": {TARGET},");
+    let _ = writeln!(json, "  \"meets_target\": {meets}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("mark_scaling: cannot write {out_path}: {e}"));
+    eprintln!("mark_scaling: wrote {out_path}");
+
+    for r in &results {
+        println!(
+            "workers={}  span={}  work={}  rounds={}  steals={}  wall={:.2}ms",
+            r.workers,
+            r.span,
+            r.work,
+            r.rounds,
+            r.steals,
+            r.wall_ns as f64 / 1e6
+        );
+    }
+    println!("modeled speedup w{w_lo} -> w{w_hi}: {speedup:.2}x (target {TARGET}x)");
+
+    if !meets {
+        eprintln!("mark_scaling: FAIL — modeled speedup {speedup:.2}x below {TARGET}x gate");
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,9 @@
 //! `--quick` trades statistical resolution for a fast smoke run (Table 1 at
 //! 10 repetitions instead of 100, shorter service windows). `--trace <path>`
 //! streams a structured JSONL execution trace of the Table 1 sweep.
+//! `--mark-workers <n>` / `--shard-bits <n>` configure the sharded parallel
+//! mark engine for the Table 1 sweep (results are identical for every
+//! worker count; only modeled mark-phase cost changes).
 
 use golf_bench::arg_value;
 use golf_metrics::BoxPlot;
@@ -38,6 +41,13 @@ fn main() {
         eprintln!("run_all: streaming Table 1 trace to {path}");
         sink
     });
+    let mut mark = golf_core::MarkConfig::default();
+    if let Some(w) = arg_value(&args, "--mark-workers").and_then(|v| v.parse().ok()) {
+        mark.workers = w;
+    }
+    if let Some(b) = arg_value(&args, "--shard-bits").and_then(|v| v.parse().ok()) {
+        mark.shard_bits = b;
+    }
     let dir = Path::new(&out);
     std::fs::create_dir_all(dir).expect("create results dir");
     let t0 = std::time::Instant::now();
@@ -47,6 +57,7 @@ fn main() {
     let table1 = run_table1(&Table1Config {
         runs: if quick { 10 } else { 100 },
         trace,
+        mark,
         ..Table1Config::default()
     });
     let mut s = table1.render();

@@ -2,10 +2,11 @@
 //! liveness fixed point, deadlock reporting, finalizer-preserving recovery,
 //! and sweeping. This module is the reproduction of the paper's §4.2/§5.
 
-use crate::config::{ExpansionStrategy, GcMode, GolfConfig};
+use crate::config::{ExpansionStrategy, GcMode, GolfConfig, MarkConfig};
 use crate::forensics;
 use crate::hints::LivenessHint;
 use crate::mark::Marker;
+use crate::pmark::MarkEngine;
 use crate::report::DeadlockReport;
 use crate::stats::{GcCycleStats, GcTotals, PhaseEvent};
 use golf_runtime::{GStatus, Gid, Value, Vm};
@@ -55,6 +56,7 @@ fn go_id(gid: Gid) -> GoId {
 pub struct GcEngine {
     mode: GcMode,
     golf: GolfConfig,
+    mark: MarkConfig,
     totals: GcTotals,
     history: Vec<GcCycleStats>,
     reports: Vec<DeadlockReport>,
@@ -69,12 +71,26 @@ impl GcEngine {
         GcEngine {
             mode,
             golf,
+            mark: MarkConfig::default(),
             totals: GcTotals::default(),
             history: Vec::new(),
             reports: Vec::new(),
             keep_history: true,
             hints: Vec::new(),
         }
+    }
+
+    /// Configures the sharded parallel mark engine. Worker count, shard
+    /// size and steal bounds never change *what* is marked or reported —
+    /// only how the marking work is partitioned (and therefore the modeled
+    /// mark-phase critical path).
+    pub fn set_mark_config(&mut self, mark: MarkConfig) {
+        self.mark = mark;
+    }
+
+    /// The current mark-engine configuration.
+    pub fn mark_config(&self) -> MarkConfig {
+        self.mark
     }
 
     /// A baseline collector (ordinary Go GC).
@@ -145,6 +161,7 @@ impl GcEngine {
             GcCycleStats { cycle: cycle_no, golf_detection: detection, ..Default::default() };
 
         // ---- Initialization ----
+        vm.heap_mut().set_shard_bits(self.mark.shard_bits);
         vm.heap_mut().clear_marks();
         stats.phases.push(PhaseEvent::Init);
 
@@ -171,7 +188,7 @@ impl GcEngine {
                 .is_some_and(|s| inert_sites.contains(vm.program().site_info(s).label.as_str()))
         };
 
-        let mut marker = Marker::new();
+        let mut marker = MarkEngine::new(self.mark, vm.mark_seed());
         for h in vm.runtime_root_handles() {
             if !inert_globals.contains(&h) {
                 marker.push_root(h);
@@ -224,7 +241,6 @@ impl GcEngine {
             }
             let mut children = Vec::new();
             while let Some(h) = work.pop() {
-                stats.pointer_traversals += 1;
                 if !vm.heap_mut().try_mark(h) {
                     continue;
                 }
@@ -234,7 +250,12 @@ impl GcEngine {
                     use golf_heap::Trace;
                     obj.trace(&mut |child| children.push(child));
                 }
-                work.extend_from_slice(&children);
+                stats.pointer_traversals += children.len() as u64;
+                for &c in &children {
+                    if !c.is_masked() && !vm.heap().is_marked(c) {
+                        work.push(c);
+                    }
+                }
                 // On-the-fly root expansion.
                 for gid in vm.waiters_on(h) {
                     stats.liveness_checks += 1;
@@ -253,6 +274,7 @@ impl GcEngine {
                 }
             }
             stats.mark_iterations = 1;
+            stats.mark_workers = 1;
             stats.phases.push(PhaseEvent::MarkIteration {
                 iteration: 1,
                 newly_marked: stats.objects_marked,
@@ -337,8 +359,12 @@ impl GcEngine {
                 }
                 stats.phases.push(PhaseEvent::RootExpansion { goroutines_added: added.len() });
             }
-            stats.objects_marked = marker.marked;
-            stats.pointer_traversals = marker.traversals;
+            stats.objects_marked = marker.marked();
+            stats.pointer_traversals = marker.traversals();
+            stats.mark_workers = marker.workers() as u32;
+            stats.mark_rounds = marker.rounds();
+            stats.mark_steals = marker.steals();
+            stats.mark_span = marker.span();
         }
         stats.mark_ns = mark_start.elapsed().as_nanos() as u64;
         stats.phases.push(PhaseEvent::MarkDone);
@@ -348,6 +374,20 @@ impl GcEngine {
                 phase: "mark",
                 count: stats.objects_marked,
             });
+            // Per-worker detail is opt-in: it depends on the worker count,
+            // so emitting it by default would break the traces-identical-
+            // across-worker-counts guarantee the determinism CI job checks.
+            if self.mark.trace_workers {
+                for (i, ws) in marker.worker_stats().iter().enumerate() {
+                    vm.trace_emit(TraceEvent::GcMarkWorker {
+                        cycle: cycle_no,
+                        worker: i as u32,
+                        marked: ws.marked,
+                        traversals: ws.traversals,
+                        steals: ws.steals,
+                    });
+                }
+            }
         }
 
         // ---- Deadlock detection & recovery ----

@@ -1,7 +1,12 @@
 //! The tricolor marker: worklist-based transitive marking over the heap.
+//!
+//! This is the *sequential* marker, kept for small auxiliary passes
+//! (re-marking hinted-inert roots, preserving deadlocked subgraphs). The
+//! collector's hot path uses the sharded parallel
+//! [`MarkEngine`](crate::MarkEngine) instead; both count work identically
+//! so cycle statistics are independent of which marker ran.
 
-use golf_heap::{Handle, Trace};
-use golf_runtime::{Finalizer, Object};
+use golf_heap::{Handle, Heap, Trace};
 
 /// A marking worklist with work accounting.
 ///
@@ -16,7 +21,10 @@ pub struct Marker {
     newly_marked: Vec<Handle>,
     /// Objects blackened so far this cycle.
     pub marked: u64,
-    /// Pointer traversals (edges followed) so far this cycle.
+    /// Pointer traversals so far this cycle: edges followed out of objects
+    /// as they were blackened. Each object is traced exactly once, so this
+    /// count is a pure property of the reachable graph — identical across
+    /// marker implementations, schedules and worker counts.
     pub traversals: u64,
 }
 
@@ -34,11 +42,15 @@ impl Marker {
 
     /// Blackens everything reachable from the current worklist. Returns how
     /// many objects were newly marked by this drain.
-    pub fn drain(&mut self, heap: &mut golf_heap::Heap<Object, Finalizer>) -> u64 {
+    ///
+    /// Children already marked (or masked) are skipped *before* being
+    /// pushed: re-pushing them only to pop-and-discard inflated the
+    /// worklist traffic — and the `traversals` statistic — by the number of
+    /// shared edges in the graph.
+    pub fn drain<O: Trace, F>(&mut self, heap: &mut Heap<O, F>) -> u64 {
         let before = self.marked;
         let mut children = Vec::new();
         while let Some(h) = self.work.pop() {
-            self.traversals += 1;
             if !heap.try_mark(h) {
                 continue; // already marked, masked, or stale
             }
@@ -48,7 +60,12 @@ impl Marker {
             if let Some(obj) = heap.get(h) {
                 obj.trace(&mut |child| children.push(child));
             }
-            self.work.extend_from_slice(&children);
+            self.traversals += children.len() as u64;
+            for &c in &children {
+                if !c.is_masked() && !heap.is_marked(c) {
+                    self.work.push(c);
+                }
+            }
         }
         self.marked - before
     }
@@ -63,8 +80,7 @@ impl Marker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use golf_heap::Heap;
-    use golf_runtime::Value;
+    use golf_runtime::{Finalizer, Object, Value};
 
     fn cell(heap: &mut Heap<Object, Finalizer>, v: Value) -> Handle {
         heap.alloc(Object::Cell(v))
@@ -121,6 +137,22 @@ mod tests {
         m.push_root(b);
         assert_eq!(m.drain(&mut heap), 1);
         assert_eq!(m.marked, 2);
-        assert!(m.traversals >= 2);
+        assert_eq!(m.traversals, 0, "isolated cells have no outgoing edges");
+    }
+
+    #[test]
+    fn shared_children_are_not_repushed() {
+        // Diamond: a -> {b, c}, b -> d, c -> d. The second parent of `d`
+        // must observe the mark before pushing, so the worklist sees `d`
+        // once and `traversals` counts the graph's 4 edges exactly.
+        let mut heap: Heap<Object, Finalizer> = Heap::new();
+        let d = cell(&mut heap, Value::Nil);
+        let b = cell(&mut heap, Value::Ref(d));
+        let c = cell(&mut heap, Value::Ref(d));
+        let a = heap.alloc(Object::Slice(vec![Value::Ref(b), Value::Ref(c)]));
+        let mut m = Marker::new();
+        m.push_root(a);
+        assert_eq!(m.drain(&mut heap), 4);
+        assert_eq!(m.traversals, 4, "edges followed once each, no re-push traffic");
     }
 }

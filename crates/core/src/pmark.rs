@@ -1,0 +1,353 @@
+//! The sharded parallel mark engine: per-worker work-stealing deques over
+//! the heap's shard-partitioned mark bitmaps.
+//!
+//! ## Determinism under parallelism
+//!
+//! The engine simulates `workers` mark workers in deterministic lock-step:
+//! every round, each worker in worker-id order processes up to
+//! [`MarkConfig::quantum`] items from its own deque; a worker with an empty
+//! deque first steals a bounded batch (≤ [`MarkConfig::steal_batch`]
+//! handles) from a victim, with victims visited in round-robin order
+//! starting at an offset derived from the scheduler seed. Because the whole
+//! schedule is a pure function of `(roots, heap, seed, config)`, a rerun
+//! replays the exact same steals — and because marking is monotone (an
+//! object is blackened at most once per cycle), the *marked set*, the
+//! aggregate `marked`/`traversals` counters and the newly-marked feed are
+//! identical for **every** worker count, not just every rerun. The
+//! newly-marked feed is additionally merged in shard order
+//! ([`MarkEngine::take_newly_marked`]), so `B(g)` root expansion and
+//! deadlock detection in `cycle.rs` observe one canonical ordering
+//! regardless of `workers`. This is what lets CI diff trace files across
+//! worker counts byte for byte.
+//!
+//! ## Modeled throughput
+//!
+//! Wall-clock cannot speed up on a single simulation thread, so — like the
+//! repository's `modeled_stw_ns` convention — parallel speed is accounted
+//! as a critical path: [`MarkEngine::span`] accumulates, per lock-step
+//! round, the *maximum* number of items any worker processed that round.
+//! With one worker, `span == work` (every pop is on the critical path);
+//! with `w` well-balanced workers it approaches `work / w`. The
+//! `mark_scaling` bench reports `work / span` as modeled mark-phase
+//! throughput.
+
+use crate::config::MarkConfig;
+use golf_heap::{Handle, Heap, Trace};
+use std::collections::VecDeque;
+
+/// Counters for one simulated mark worker, cumulative over a cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MarkWorkerStats {
+    /// Objects this worker blackened.
+    pub marked: u64,
+    /// Edges this worker followed out of objects it blackened.
+    pub traversals: u64,
+    /// Steal batches this worker took from victims.
+    pub steals: u64,
+}
+
+/// The sharded parallel marker. Replaces the single-stack
+/// [`Marker`](crate::Marker) on the collector's hot path; the sequential
+/// `Marker` remains for small auxiliary re-marks.
+#[derive(Debug)]
+pub struct MarkEngine {
+    cfg: MarkConfig,
+    seed: u64,
+    deques: Vec<VecDeque<Handle>>,
+    per_worker: Vec<MarkWorkerStats>,
+    newly: Vec<Handle>,
+    marked: u64,
+    traversals: u64,
+    work: u64,
+    span: u64,
+    rounds: u64,
+    steals: u64,
+}
+
+impl MarkEngine {
+    /// An empty engine. `seed` keys the steal-victim rotation; pass the
+    /// VM's [`mark_seed`](golf_runtime::Vm::mark_seed) so schedules replay
+    /// with the run.
+    pub fn new(cfg: MarkConfig, seed: u64) -> Self {
+        let workers = cfg.workers.max(1);
+        MarkEngine {
+            cfg,
+            seed,
+            deques: vec![VecDeque::new(); workers],
+            per_worker: vec![MarkWorkerStats::default(); workers],
+            newly: Vec::new(),
+            marked: 0,
+            traversals: 0,
+            work: 0,
+            span: 0,
+            rounds: 0,
+            steals: 0,
+        }
+    }
+
+    /// Number of simulated workers.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Adds a root, assigning it to the worker that owns its shard
+    /// (`shard(h) mod workers`) — a placement that depends only on the
+    /// handle, never on push order or worker count bookkeeping.
+    pub fn push_root(&mut self, h: Handle) {
+        let shard = (h.index() >> self.cfg.shard_bits) as usize;
+        let w = shard % self.deques.len();
+        self.deques[w].push_back(h);
+    }
+
+    /// Objects blackened so far this cycle.
+    pub fn marked(&self) -> u64 {
+        self.marked
+    }
+
+    /// Edges followed out of blackened objects so far this cycle. Counted
+    /// only from the (unique) blackening visit of each object, so the total
+    /// is independent of scheduling and worker count.
+    pub fn traversals(&self) -> u64 {
+        self.traversals
+    }
+
+    /// Total work items (deque pops) processed.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Modeled parallel critical path: per lock-step round, the maximum
+    /// items processed by any worker, summed over rounds.
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// Lock-step rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Steal batches transferred between workers.
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// Per-worker counters, indexed by worker id.
+    pub fn worker_stats(&self) -> &[MarkWorkerStats] {
+        &self.per_worker
+    }
+
+    /// Blackens everything reachable from the current deques, in
+    /// deterministic lock-step rounds. Returns how many objects were newly
+    /// marked by this drain.
+    pub fn drain<O: Trace, F>(&mut self, heap: &mut Heap<O, F>) -> u64 {
+        let before = self.marked;
+        let workers = self.deques.len();
+        let quantum = self.cfg.quantum.max(1) as usize;
+        let steal_batch = self.cfg.steal_batch.max(1) as usize;
+        let mut children: Vec<Handle> = Vec::new();
+
+        while self.deques.iter().any(|d| !d.is_empty()) {
+            self.rounds += 1;
+            let mut round_max = 0u64;
+            for me in 0..workers {
+                if self.deques[me].is_empty() && workers > 1 {
+                    self.steal_into(me, steal_batch);
+                }
+                let mut pops = 0u64;
+                while pops < quantum as u64 {
+                    let Some(h) = self.deques[me].pop_back() else { break };
+                    pops += 1;
+                    if !heap.try_mark(h) {
+                        continue; // already marked, masked, or stale
+                    }
+                    self.per_worker[me].marked += 1;
+                    self.newly.push(h);
+                    children.clear();
+                    if let Some(obj) = heap.get(h) {
+                        obj.trace(&mut |child| children.push(child));
+                    }
+                    self.per_worker[me].traversals += children.len() as u64;
+                    for &c in &children {
+                        if !c.is_masked() && !heap.is_marked(c) {
+                            self.deques[me].push_back(c);
+                        }
+                    }
+                }
+                self.work += pops;
+                round_max = round_max.max(pops);
+            }
+            self.span += round_max;
+        }
+
+        self.marked = self.per_worker.iter().map(|w| w.marked).sum();
+        self.traversals = self.per_worker.iter().map(|w| w.traversals).sum();
+        self.steals = self.per_worker.iter().map(|w| w.steals).sum();
+        self.marked - before
+    }
+
+    /// Steals up to `steal_batch` handles into worker `me`'s (empty) deque.
+    /// Victims are the other workers in circular order, starting at an
+    /// offset derived from `(seed, round, me)` — deterministic round-robin.
+    fn steal_into(&mut self, me: usize, steal_batch: usize) {
+        let workers = self.deques.len();
+        let others = workers - 1;
+        let rot = splitmix64(self.seed ^ (self.rounds << 8) ^ me as u64) as usize % others;
+        for k in 0..others {
+            let victim = (me + 1 + (rot + k) % others) % workers;
+            if self.deques[victim].is_empty() {
+                continue;
+            }
+            // Steal from the FIFO end (oldest work), preserving order.
+            let mut batch: Vec<Handle> = Vec::with_capacity(steal_batch);
+            for _ in 0..steal_batch {
+                let Some(h) = self.deques[victim].pop_front() else { break };
+                batch.push(h);
+            }
+            self.deques[me].extend(batch);
+            self.per_worker[me].steals += 1;
+            return;
+        }
+    }
+
+    /// The handles blackened since the last call, merged in shard order
+    /// (shard, then slot index, then generation) — one canonical sequence
+    /// for the §5.3 `FromMarked` expansion regardless of worker count.
+    pub fn take_newly_marked(&mut self) -> Vec<Handle> {
+        let mut newly = std::mem::take(&mut self.newly);
+        newly.sort_unstable_by_key(|h| {
+            (h.index() >> self.cfg.shard_bits, h.index(), h.generation())
+        });
+        newly
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Node {
+        children: Vec<Handle>,
+    }
+
+    impl Trace for Node {
+        fn trace(&self, visit: &mut dyn FnMut(Handle)) {
+            for &c in &self.children {
+                visit(c);
+            }
+        }
+    }
+
+    fn leaf(heap: &mut Heap<Node>) -> Handle {
+        heap.alloc(Node { children: Vec::new() })
+    }
+
+    /// A forest of `roots` wide two-level trees plus a long chain.
+    fn build_graph(heap: &mut Heap<Node>, roots: usize, fanout: usize) -> Vec<Handle> {
+        let mut tops = Vec::new();
+        for _ in 0..roots {
+            let kids: Vec<Handle> = (0..fanout)
+                .map(|_| {
+                    let grandkids: Vec<Handle> = (0..4).map(|_| leaf(heap)).collect();
+                    heap.alloc(Node { children: grandkids })
+                })
+                .collect();
+            tops.push(heap.alloc(Node { children: kids }));
+        }
+        // One serial chain to exercise imbalance + stealing.
+        let mut tail = leaf(heap);
+        for _ in 0..200 {
+            tail = heap.alloc(Node { children: vec![tail] });
+        }
+        tops.push(tail);
+        tops
+    }
+
+    fn run(workers: usize, seed: u64) -> (u64, u64, u64, u64, Vec<Handle>, u64) {
+        let mut heap: Heap<Node> = Heap::new();
+        let roots = build_graph(&mut heap, 8, 32);
+        heap.clear_marks();
+        let cfg = MarkConfig { workers, quantum: 16, ..MarkConfig::default() };
+        let mut engine = MarkEngine::new(cfg, seed);
+        for r in roots {
+            engine.push_root(r);
+        }
+        let newly = engine.drain(&mut heap);
+        assert_eq!(newly, engine.marked());
+        assert_eq!(engine.marked(), heap.marked_count() as u64);
+        (
+            engine.marked(),
+            engine.traversals(),
+            engine.span(),
+            engine.steals(),
+            engine.take_newly_marked(),
+            engine.work(),
+        )
+    }
+
+    #[test]
+    fn outcome_is_worker_count_invariant() {
+        let (m1, t1, _, _, n1, _) = run(1, 7);
+        for workers in [2, 4, 8] {
+            let (m, t, _, _, n, _) = run(workers, 7);
+            assert_eq!(m, m1, "marked set size differs at {workers} workers");
+            assert_eq!(t, t1, "traversals differ at {workers} workers");
+            assert_eq!(n, n1, "newly-marked feed differs at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn reruns_replay_exactly() {
+        assert_eq!(run(4, 42), run(4, 42));
+    }
+
+    #[test]
+    fn span_shrinks_with_workers_and_steals_happen() {
+        let (_, _, span1, steals1, _, work1) = run(1, 3);
+        let (_, _, span4, steals4, _, _) = run(4, 3);
+        assert_eq!(steals1, 0, "a single worker has nobody to steal from");
+        assert!(steals4 > 0, "empty workers must steal on the wide graph");
+        assert_eq!(span1, work1, "one worker: every pop is on the critical path");
+        assert!(
+            span4 * 2 < span1,
+            "4 workers should at least halve the critical path ({span4} vs {span1})"
+        );
+    }
+
+    #[test]
+    fn masked_roots_and_cycles_are_safe() {
+        let mut heap: Heap<Node> = Heap::new();
+        let a = leaf(&mut heap);
+        let b = heap.alloc(Node { children: vec![a] });
+        heap.get_mut(a).unwrap().children.push(b); // close the cycle
+        let mut engine = MarkEngine::new(MarkConfig::with_workers(2), 0);
+        engine.push_root(a.masked());
+        assert_eq!(engine.drain(&mut heap), 0, "masked roots are ignored");
+        engine.push_root(a);
+        assert_eq!(engine.drain(&mut heap), 2, "cycles terminate");
+        assert_eq!(engine.traversals(), 2, "each cycle edge followed once");
+    }
+
+    #[test]
+    fn incremental_drains_accumulate() {
+        let mut heap: Heap<Node> = Heap::new();
+        let a = leaf(&mut heap);
+        let b = leaf(&mut heap);
+        let mut engine = MarkEngine::new(MarkConfig::default(), 0);
+        engine.push_root(a);
+        assert_eq!(engine.drain(&mut heap), 1);
+        assert_eq!(engine.take_newly_marked(), vec![a]);
+        engine.push_root(b);
+        assert_eq!(engine.drain(&mut heap), 1);
+        assert_eq!(engine.take_newly_marked(), vec![b]);
+        assert_eq!(engine.marked(), 2);
+        assert_eq!(engine.traversals(), 0, "leaves have no outgoing edges");
+    }
+}

@@ -52,11 +52,13 @@
 #![warn(missing_docs)]
 
 mod handle;
+mod shard;
 mod slot_heap;
 mod stats;
 mod trace;
 
 pub use handle::Handle;
+pub use shard::{MarkBits, DEFAULT_SHARD_BITS, MAX_SHARD_BITS, MIN_SHARD_BITS};
 pub use slot_heap::{Heap, SweepOutcome};
 pub use stats::HeapStats;
 pub use trace::Trace;

@@ -1,11 +1,12 @@
-//! The slot-table heap: allocation, mark bits, sweeping, finalizers.
+//! The slot-table heap: allocation, sharded mark bitmaps, sweeping,
+//! finalizers.
 
+use crate::shard::MarkBits;
 use crate::{Handle, HeapStats, Trace};
 
 struct Slot<O, F> {
     obj: Option<O>,
     generation: u32,
-    marked: bool,
     bytes: u64,
     finalizer: Option<F>,
 }
@@ -18,6 +19,12 @@ struct Slot<O, F> {
 /// collect) lives in `golf-core`. Handles are generational: freeing a slot
 /// bumps its generation, so stale handles resolve to `None` rather than to a
 /// recycled object.
+///
+/// Mark state lives outside the slots, in a sharded bitmap
+/// ([`MarkBits`](crate::MarkBits)): the slot arena is split into fixed
+/// shards of `1 << shard_bits` slots, each with its own dense mark bitmap.
+/// `golf-core`'s parallel mark engine keys worker ownership and output
+/// ordering on these shards; see [`Heap::shard_of`].
 ///
 /// Finalizers mirror Go's `runtime.SetFinalizer`: an unmarked object with a
 /// finalizer is *not* reclaimed by [`Heap::sweep_unmarked`]; instead its
@@ -46,6 +53,7 @@ struct Slot<O, F> {
 pub struct Heap<O, F = ()> {
     slots: Vec<Slot<O, F>>,
     free: Vec<u32>,
+    marks: MarkBits,
     stats: HeapStats,
 }
 
@@ -71,12 +79,22 @@ impl<F> Default for SweepOutcome<F> {
 impl<O: Trace, F> Heap<O, F> {
     /// Creates an empty heap.
     pub fn new() -> Self {
-        Heap { slots: Vec::new(), free: Vec::new(), stats: HeapStats::default() }
+        Heap {
+            slots: Vec::new(),
+            free: Vec::new(),
+            marks: MarkBits::default(),
+            stats: HeapStats::default(),
+        }
     }
 
     /// Creates an empty heap with room for `cap` objects before reallocating.
     pub fn with_capacity(cap: usize) -> Self {
-        Heap { slots: Vec::with_capacity(cap), free: Vec::new(), stats: HeapStats::default() }
+        Heap {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            marks: MarkBits::default(),
+            stats: HeapStats::default(),
+        }
     }
 
     /// Allocates `obj`, returning its handle.
@@ -87,19 +105,14 @@ impl<O: Trace, F> Heap<O, F> {
             let slot = &mut self.slots[idx as usize];
             debug_assert!(slot.obj.is_none());
             slot.obj = Some(obj);
-            slot.marked = false;
             slot.bytes = bytes;
             slot.finalizer = None;
+            self.marks.clear(idx as usize);
             Handle::new(idx, slot.generation)
         } else {
             let idx = u32::try_from(self.slots.len()).expect("heap slot index overflow");
-            self.slots.push(Slot {
-                obj: Some(obj),
-                generation: 0,
-                marked: false,
-                bytes,
-                finalizer: None,
-            });
+            self.slots.push(Slot { obj: Some(obj), generation: 0, bytes, finalizer: None });
+            self.marks.ensure(self.slots.len());
             Handle::new(idx, 0)
         }
     }
@@ -149,7 +162,7 @@ impl<O: Trace, F> Heap<O, F> {
         let bytes = slot.bytes;
         slot.generation = slot.generation.wrapping_add(1);
         slot.finalizer = None;
-        slot.marked = false;
+        self.marks.clear(h.index() as usize);
         self.free.push(h.index());
         self.stats.on_free(bytes);
         obj
@@ -165,11 +178,10 @@ impl<O: Trace, F> Heap<O, F> {
         self.len() == 0
     }
 
-    /// Clears every mark bit (GC cycle initialization).
+    /// Clears every mark bit (GC cycle initialization) — a word-wise zeroing
+    /// pass over the shard bitmaps, not a slot walk.
     pub fn clear_marks(&mut self) {
-        for slot in &mut self.slots {
-            slot.marked = false;
-        }
+        self.marks.clear_all();
     }
 
     /// Marks `h` if it is live and unmarked, returning `true` exactly when
@@ -178,23 +190,45 @@ impl<O: Trace, F> Heap<O, F> {
     /// Masked and stale handles are ignored (returns `false`), which is what
     /// makes GOLF's address obfuscation effective.
     pub fn try_mark(&mut self, h: Handle) -> bool {
-        match self.slot_mut(h) {
-            Some(slot) if !slot.marked => {
-                slot.marked = true;
-                true
-            }
-            _ => false,
+        if self.slot(h).is_none() {
+            return false;
         }
+        self.marks.try_set(h.index() as usize)
     }
 
     /// Whether `h` is live and marked in the current cycle.
     pub fn is_marked(&self, h: Handle) -> bool {
-        self.slot(h).is_some_and(|s| s.marked)
+        self.slot(h).is_some() && self.marks.is_set(h.index() as usize)
     }
 
-    /// Number of objects currently marked.
+    /// Number of objects currently marked (a per-shard popcount; only live
+    /// slots can carry a mark).
     pub fn marked_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.obj.is_some() && s.marked).count()
+        self.marks.set_count() as usize
+    }
+
+    /// The shard size exponent: each shard covers `1 << shard_bits` slots.
+    pub fn shard_bits(&self) -> u32 {
+        self.marks.shard_bits()
+    }
+
+    /// Number of mark-bitmap shards currently allocated.
+    pub fn shard_count(&self) -> usize {
+        self.marks.shard_count()
+    }
+
+    /// The shard that owns `h`'s slot. The parallel mark engine distributes
+    /// roots to workers by this value and merges newly-marked feeds in shard
+    /// order, so detection ordering is worker-count-invariant.
+    pub fn shard_of(&self, h: Handle) -> usize {
+        self.marks.shard_of(h.index() as usize)
+    }
+
+    /// Re-shards the mark bitmaps to a new `shard_bits` (clamped to the
+    /// supported range), preserving any current marks. Collectors call this
+    /// at cycle initialization when their configured shard size differs.
+    pub fn set_shard_bits(&mut self, bits: u32) {
+        self.marks.reshard(bits);
     }
 
     /// Reclaims every live, unmarked object — except those with pending
@@ -202,8 +236,11 @@ impl<O: Trace, F> Heap<O, F> {
     pub fn sweep_unmarked(&mut self) -> SweepOutcome<F> {
         let mut outcome = SweepOutcome::default();
         for idx in 0..self.slots.len() {
+            if self.marks.is_set(idx) {
+                continue;
+            }
             let slot = &mut self.slots[idx];
-            if slot.obj.is_none() || slot.marked {
+            if slot.obj.is_none() {
                 continue;
             }
             if let Some(fin) = slot.finalizer.take() {
@@ -313,7 +350,7 @@ impl<O: Trace, F> Heap<O, F> {
                     if !free_set.contains(&idx) {
                         return Err(format!("empty slot {idx} missing from the free list"));
                     }
-                    if slot.marked {
+                    if self.marks.is_set(idx as usize) {
                         return Err(format!("freed slot {idx} still marked"));
                     }
                     if slot.finalizer.is_some() {
@@ -524,6 +561,31 @@ mod tests {
         heap.sweep_unmarked(); // b dies now
         heap.validate().unwrap();
         assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn shard_api_tracks_marks() {
+        let mut heap: Heap<Node> = Heap::new();
+        let handles: Vec<Handle> = (0..10).map(|_| heap.alloc(leaf(1))).collect();
+        assert_eq!(heap.shard_bits(), crate::DEFAULT_SHARD_BITS);
+        assert_eq!(heap.shard_count(), 1, "10 slots fit one shard");
+        assert_eq!(heap.shard_of(handles[0]), 0);
+
+        heap.clear_marks();
+        for &h in &handles[..4] {
+            assert!(heap.try_mark(h));
+        }
+        assert_eq!(heap.marked_count(), 4);
+        // Re-sharding preserves marks and liveness checks still hold.
+        heap.set_shard_bits(6);
+        assert_eq!(heap.shard_bits(), 6);
+        assert_eq!(heap.marked_count(), 4);
+        assert!(heap.is_marked(handles[0]));
+        assert!(!heap.is_marked(handles[9]));
+        // Freeing a marked object clears its bit.
+        heap.free(handles[0]);
+        assert_eq!(heap.marked_count(), 3);
+        heap.validate().unwrap();
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Single-run execution of one microbenchmark under GOLF.
 
 use crate::corpus::Microbenchmark;
-use golf_core::Session;
+use golf_core::{MarkConfig, Session};
 use golf_runtime::{PanicPolicy, RunStatus, Vm, VmConfig};
 use golf_trace::SharedJsonlSink;
 use std::collections::BTreeSet;
@@ -21,11 +21,21 @@ pub struct RunSettings {
     /// When set, the run streams structured trace events into this shared
     /// sink (all runs of a sweep append to the same JSONL file).
     pub trace: Option<SharedJsonlSink>,
+    /// Sharded parallel mark-engine configuration (worker count, shard
+    /// size). Any worker count yields the same results and the same trace.
+    pub mark: MarkConfig,
 }
 
 impl Default for RunSettings {
     fn default() -> Self {
-        RunSettings { procs: 1, seed: 0, tick_budget: 3_000, max_instances: 24, trace: None }
+        RunSettings {
+            procs: 1,
+            seed: 0,
+            tick_budget: 3_000,
+            max_instances: 24,
+            trace: None,
+            mark: MarkConfig::default(),
+        }
     }
 }
 
@@ -77,6 +87,7 @@ pub fn run_benchmark(mb: &Microbenchmark, settings: &RunSettings) -> BenchRunRes
     };
     let vm = Vm::boot(program, config);
     let mut session = Session::golf(vm);
+    session.set_mark_config(settings.mark);
     if let Some(sink) = &settings.trace {
         session.set_trace_sink(Some(Box::new(sink.clone())));
     }

@@ -3,6 +3,7 @@
 
 use crate::corpus::{corpus, Microbenchmark};
 use crate::harness::{run_benchmark, RunSettings};
+use golf_core::MarkConfig;
 use golf_metrics::{Align, Table};
 use golf_trace::SharedJsonlSink;
 use std::sync::Mutex;
@@ -24,6 +25,8 @@ pub struct Table1Config {
     pub threads: usize,
     /// When set, every run streams trace events into this shared sink.
     pub trace: Option<SharedJsonlSink>,
+    /// Sharded parallel mark-engine configuration applied to every run.
+    pub mark: MarkConfig,
 }
 
 impl Default for Table1Config {
@@ -36,6 +39,7 @@ impl Default for Table1Config {
             max_instances: 24,
             threads: 0,
             trace: None,
+            mark: MarkConfig::default(),
         }
     }
 }
@@ -139,7 +143,13 @@ impl Table1 {
 /// Runs the full Table 1 sweep over the given corpus subset (pass
 /// [`corpus()`]'s output, or a filtered subset for quick runs).
 pub fn run_table1_on(benchmarks: &[Microbenchmark], config: &Table1Config) -> Table1 {
-    let threads = if config.threads == 0 {
+    // Tracing forces a single worker thread: with several threads the
+    // interleaving of whole-run event blocks in the shared sink follows OS
+    // scheduling, and the trace would no longer be a pure function of the
+    // seed.
+    let threads = if config.trace.is_some() {
+        1
+    } else if config.threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
         config.threads
@@ -192,6 +202,7 @@ pub fn run_table1_on(benchmarks: &[Microbenchmark], config: &Table1Config) -> Ta
                                 tick_budget: config.tick_budget,
                                 max_instances: config.max_instances,
                                 trace: config.trace.clone(),
+                                mark: config.mark,
                             },
                         );
                         for row in per_site.iter_mut() {

@@ -1,0 +1,116 @@
+//! Differential test for the sharded parallel mark engine: for every
+//! deterministic goker benchmark, running the collector with 2 or 4
+//! simulated mark workers must produce *exactly* the outcome of 1 worker —
+//! the same deadlock reports, the same worker-count-invariant cycle
+//! statistics (phases included), and the same final live-heap handle set.
+//!
+//! Only the explicitly worker-dependent fields (`mark_workers`,
+//! `mark_rounds`, `mark_steals`, `mark_span`, and the wall-clock `*_ns`
+//! timings) may differ; everything else differing is a determinism bug.
+
+use golf_core::{DeadlockReport, MarkConfig, PhaseEvent, Session};
+use golf_micro::{corpus, instances_for, Source};
+use golf_runtime::{PanicPolicy, Vm, VmConfig};
+
+/// The worker-count-invariant slice of one cycle's statistics.
+#[derive(Debug, Clone, PartialEq)]
+struct CycleKey {
+    cycle: u64,
+    golf_detection: bool,
+    mark_iterations: u32,
+    objects_marked: u64,
+    pointer_traversals: u64,
+    liveness_checks: u64,
+    deadlocks_detected: usize,
+    deadlocks_reclaimed: usize,
+    preserved_for_finalizers: usize,
+    swept_objects: u64,
+    swept_bytes: u64,
+    live_bytes_after: u64,
+    phases: Vec<PhaseEvent>,
+}
+
+/// Everything about a run that must not depend on the mark worker count.
+#[derive(Debug, Clone, PartialEq)]
+struct Outcome {
+    reports: Vec<DeadlockReport>,
+    cycles: Vec<CycleKey>,
+    live_handles: Vec<u64>,
+    ticks: u64,
+}
+
+fn run_one(mb: &golf_micro::Microbenchmark, workers: usize) -> Outcome {
+    let n = instances_for(mb.flakiness, 24);
+    let program = (mb.build)(n);
+    let config = VmConfig {
+        gomaxprocs: 2,
+        seed: 0xD1FF,
+        panic_policy: PanicPolicy::KillGoroutine,
+        ..VmConfig::default()
+    };
+    let vm = Vm::boot(program, config);
+    let mut session = Session::golf(vm);
+    session.set_mark_config(MarkConfig::with_workers(workers));
+    let outcome = session.run(3_000);
+    session.collect();
+
+    let cycles = session
+        .engine()
+        .history()
+        .iter()
+        .map(|c| CycleKey {
+            cycle: c.cycle,
+            golf_detection: c.golf_detection,
+            mark_iterations: c.mark_iterations,
+            objects_marked: c.objects_marked,
+            pointer_traversals: c.pointer_traversals,
+            liveness_checks: c.liveness_checks,
+            deadlocks_detected: c.deadlocks_detected,
+            deadlocks_reclaimed: c.deadlocks_reclaimed,
+            preserved_for_finalizers: c.preserved_for_finalizers,
+            swept_objects: c.swept_objects,
+            swept_bytes: c.swept_bytes,
+            live_bytes_after: c.live_bytes_after,
+            phases: c.phases.clone(),
+        })
+        .collect();
+    let mut live_handles: Vec<u64> = session.vm().heap().handles().map(|h| h.raw()).collect();
+    live_handles.sort_unstable();
+    Outcome { reports: session.reports().to_vec(), cycles, live_handles, ticks: outcome.ticks }
+}
+
+#[test]
+fn parallel_mark_matches_sequential_on_deterministic_corpus() {
+    let det: Vec<_> =
+        corpus().into_iter().filter(|b| b.source == Source::GoBench && b.flakiness == 1).collect();
+    assert!(!det.is_empty(), "deterministic goker subset must not be empty");
+
+    for mb in &det {
+        let base = run_one(mb, 1);
+        assert!(!base.cycles.is_empty(), "{}: expected at least one collection cycle", mb.name);
+        for workers in [2, 4] {
+            let par = run_one(mb, workers);
+            assert_eq!(
+                par, base,
+                "{}: outcome with {workers} mark workers diverged from sequential",
+                mb.name
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_mark_uses_configured_worker_count() {
+    let mb = corpus()
+        .into_iter()
+        .find(|b| b.source == Source::GoBench && b.flakiness == 1)
+        .expect("deterministic benchmark");
+    let n = instances_for(mb.flakiness, 24);
+    let vm = Vm::boot((mb.build)(n), VmConfig { seed: 1, ..VmConfig::default() });
+    let mut session = Session::golf(vm);
+    session.set_mark_config(MarkConfig::with_workers(4));
+    session.run(3_000);
+    session.collect();
+    let history = session.engine().history();
+    assert!(history.iter().any(|c| c.mark_workers == 4), "cycles should record 4 mark workers");
+}

@@ -598,6 +598,14 @@ impl Vm {
 
     // ---- roots ----
 
+    /// Seed for the collector's mark-worker scheduling (steal-victim
+    /// rotation). Derived from the scheduler seed so one `VmConfig::seed`
+    /// pins *both* the goroutine interleaving and the mark-phase steal
+    /// schedule — reruns replay byte-identically.
+    pub fn mark_seed(&self) -> u64 {
+        self.config.seed ^ 0x4D41_524B // "MARK"
+    }
+
     /// Handles intrinsically reachable from the runtime itself: globals and
     /// channels held by pending timers. These are marked in *every* GC mode.
     pub fn runtime_root_handles(&self) -> Vec<Handle> {

@@ -130,6 +130,23 @@ pub enum TraceEvent {
         /// swept, ...); `0` when the phase has no natural count.
         count: u64,
     },
+    /// Per-worker summary of one sharded mark phase. Only emitted when the
+    /// collector's `MarkConfig::trace_workers` is enabled: the per-worker
+    /// split necessarily depends on the worker count, so these records are
+    /// excluded from the default trace stream to keep traces byte-identical
+    /// across worker counts.
+    GcMarkWorker {
+        /// GC cycle number.
+        cycle: u64,
+        /// Worker index, `0..workers`.
+        worker: u32,
+        /// Objects this worker blackened.
+        marked: u64,
+        /// Pointer traversals this worker performed.
+        traversals: u64,
+        /// Steal batches this worker pulled from victims.
+        steals: u64,
+    },
     /// The collector proved a goroutine deadlocked (unreachable while
     /// blocked at a deadlock-eligible operation).
     DeadlockDetected {
@@ -172,6 +189,7 @@ impl TraceEvent {
             | TraceEvent::Reclaimed { gid } => Some(*gid),
             TraceEvent::GcPhaseBegin { .. }
             | TraceEvent::GcPhaseEnd { .. }
+            | TraceEvent::GcMarkWorker { .. }
             | TraceEvent::GcTrace { .. } => None,
         }
     }
@@ -191,6 +209,7 @@ impl TraceEvent {
             TraceEvent::SemaDequeue { .. } => "sema_dequeue",
             TraceEvent::GcPhaseBegin { .. } => "gc_phase_begin",
             TraceEvent::GcPhaseEnd { .. } => "gc_phase_end",
+            TraceEvent::GcMarkWorker { .. } => "gc_mark_worker",
             TraceEvent::DeadlockDetected { .. } => "deadlock_detected",
             TraceEvent::Reclaimed { .. } => "reclaimed",
             TraceEvent::GcTrace { .. } => "gctrace",
@@ -263,6 +282,12 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::GcPhaseEnd { cycle, phase, count } => {
                 write!(f, "GcPhaseEnd cycle={cycle} phase={phase} count={count}")
+            }
+            TraceEvent::GcMarkWorker { cycle, worker, marked, traversals, steals } => {
+                write!(
+                    f,
+                    "GcMarkWorker cycle={cycle} w{worker} marked={marked} trav={traversals} steals={steals}"
+                )
             }
             TraceEvent::DeadlockDetected { gid, reason, location } => {
                 write!(f, "DeadlockDetected {gid} [{reason}] at {location}")

@@ -97,6 +97,12 @@ impl TraceRecord {
                 push_json_str(&mut out, phase);
                 let _ = write!(out, ",\"count\":{count}");
             }
+            TraceEvent::GcMarkWorker { cycle, worker, marked, traversals, steals } => {
+                let _ = write!(
+                    out,
+                    ",\"cycle\":{cycle},\"worker\":{worker},\"marked\":{marked},\"traversals\":{traversals},\"steals\":{steals}"
+                );
+            }
             TraceEvent::DeadlockDetected { reason, location, .. } => {
                 out.push_str(",\"reason\":");
                 push_json_str(&mut out, reason);
