@@ -101,6 +101,10 @@ fn main() {
         repeats,
         procs
     );
+    eprintln!(
+        "golf-tester: seeds — root {base_seed:#x}, table1 stream {:#x}, per-VM mark stream via seed_for(vm_seed, \"mark\")",
+        golf_runtime::seed_for(base_seed, "table1"),
+    );
     let table = golf_micro::run_table1_on(
         &benchmarks,
         &Table1Config { procs, runs: repeats, trace, base_seed, mark, ..Table1Config::default() },

@@ -8,7 +8,10 @@
 //! ```
 //!
 //! `--quick` trades statistical resolution for a fast smoke run (Table 1 at
-//! 10 repetitions instead of 100, shorter service windows). `--trace <path>`
+//! 10 repetitions instead of 100, shorter service windows). `--seed <n>`
+//! sets the root seed; per-component streams (Table 1 runs, mark engine,
+//! exploration strategies) derive from it via `golf_runtime::seed_for` and
+//! the effective streams are printed in the run header. `--trace <path>`
 //! streams a structured JSONL execution trace of the Table 1 sweep.
 //! `--mark-workers <n>` / `--shard-bits <n>` configure the sharded parallel
 //! mark engine for the Table 1 sweep (results are identical for every
@@ -35,6 +38,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out = arg_value(&args, "--out").unwrap_or_else(|| "results".into());
     let quick = args.iter().any(|a| a == "--quick");
+    let base_seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(Table1Config::default().base_seed);
     let trace = arg_value(&args, "--trace").map(|path| {
         let sink = golf_trace::SharedJsonlSink::create(&path)
             .unwrap_or_else(|e| panic!("run_all: cannot create trace file {path}: {e}"));
@@ -50,6 +56,11 @@ fn main() {
     }
     let dir = Path::new(&out);
     std::fs::create_dir_all(dir).expect("create results dir");
+    eprintln!(
+        "run_all: seeds — root {base_seed:#x}, table1 stream {:#x}, strategy stream {:#x} (seed_for)",
+        golf_runtime::seed_for(base_seed, "table1"),
+        golf_runtime::seed_for(base_seed, "strategy"),
+    );
     let t0 = std::time::Instant::now();
 
     // -- Table 1 ----------------------------------------------------------
@@ -58,6 +69,7 @@ fn main() {
         runs: if quick { 10 } else { 100 },
         trace,
         mark,
+        base_seed,
         ..Table1Config::default()
     });
     let mut s = table1.render();

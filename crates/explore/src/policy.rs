@@ -1,0 +1,77 @@
+//! Recording and replaying scheduling decisions.
+//!
+//! [`RecordingPolicy`] wraps any inner [`SchedPolicy`] and logs the
+//! effective `(pick, quantum)` pair of every scheduling slot — after the
+//! same clamping the VM applies, so the log is exactly what ran.
+//! [`ReplayPolicy`] feeds a recorded decision list back; past the end of
+//! the list it degrades to the deterministic default (queue head, full
+//! quantum), which is what makes truncation a sound shrinking move.
+
+use crate::schedule::Decision;
+use golf_runtime::{Gid, SchedPolicy};
+use std::sync::{Arc, Mutex};
+
+/// Shared handle to a recording in progress (the policy is moved into the
+/// VM; the caller keeps this to harvest the decisions afterwards).
+pub type DecisionLog = Arc<Mutex<Vec<Decision>>>;
+
+/// Wraps an exploration strategy's policy and records every decision.
+pub struct RecordingPolicy {
+    inner: Box<dyn SchedPolicy>,
+    log: DecisionLog,
+}
+
+impl RecordingPolicy {
+    /// Wraps `inner`; returns the policy and the shared log handle.
+    pub fn new(inner: Box<dyn SchedPolicy>) -> (Self, DecisionLog) {
+        let log: DecisionLog = Arc::new(Mutex::new(Vec::new()));
+        (RecordingPolicy { inner, log: Arc::clone(&log) }, log)
+    }
+}
+
+impl SchedPolicy for RecordingPolicy {
+    fn pick(&mut self, tick: u64, candidates: &[Gid]) -> usize {
+        // Clamp exactly like the scheduler does, so the recorded pick is
+        // the effective one.
+        let pick = self.inner.pick(tick, candidates).min(candidates.len() - 1);
+        self.log.lock().expect("poisoned").push(Decision { pick: pick as u32, quantum: 1 });
+        pick
+    }
+
+    fn quantum(&mut self, max_quantum: u32) -> u32 {
+        let q = self.inner.quantum(max_quantum).clamp(1, max_quantum);
+        if let Some(last) = self.log.lock().expect("poisoned").last_mut() {
+            last.quantum = q;
+        }
+        q
+    }
+}
+
+/// Feeds a recorded decision list back into the scheduler.
+pub struct ReplayPolicy {
+    decisions: Vec<Decision>,
+    pos: usize,
+}
+
+impl ReplayPolicy {
+    /// A policy that replays `decisions` in order, then defaults.
+    pub fn new(decisions: Vec<Decision>) -> Self {
+        ReplayPolicy { decisions, pos: 0 }
+    }
+}
+
+impl SchedPolicy for ReplayPolicy {
+    fn pick(&mut self, _tick: u64, _candidates: &[Gid]) -> usize {
+        // Out-of-range picks are clamped by the scheduler, identically to
+        // how they were clamped when recorded.
+        self.decisions.get(self.pos).map_or(0, |d| d.pick as usize)
+    }
+
+    fn quantum(&mut self, max_quantum: u32) -> u32 {
+        // `quantum` is called exactly once after each `pick`, so this is
+        // where the slot advances.
+        let q = self.decisions.get(self.pos).map_or(max_quantum, |d| d.quantum);
+        self.pos += 1;
+        q.clamp(1, max_quantum)
+    }
+}

@@ -1,0 +1,132 @@
+//! Schedule shrinking: delta debugging over decision traces.
+//!
+//! Given a schedule whose replay reproduces a deadlock report with a known
+//! deduplication key, the shrinker searches for a much shorter decision
+//! list that still reproduces a report with the same key. Moves, in order:
+//!
+//! 1. **Empty probe** — deterministic bugs reproduce under the all-default
+//!    schedule; nothing beats zero decisions.
+//! 2. **Prefix search** — binary search for the shortest reproducing
+//!    prefix (sound because replay past the end of the list degrades to
+//!    the deterministic default decision).
+//! 3. **ddmin chunk removal** — classic delta debugging over the surviving
+//!    prefix.
+//! 4. **Default substitution** — rewrite individual decisions to the
+//!    default, then drop the now-redundant default tail.
+//!
+//! Every probe is one full replay, so the whole search is budgeted.
+
+use crate::runner::replay_run;
+use crate::schedule::{Decision, Schedule};
+use crate::target::Target;
+
+/// Outcome of a shrink search.
+#[derive(Debug)]
+pub struct ShrinkResult {
+    /// The minimized schedule (equal to the input if nothing shrank).
+    pub schedule: Schedule,
+    /// Replay probes spent.
+    pub probes: u64,
+    /// Whether the *input* schedule reproduced the report at all — when
+    /// false the search did not run and `schedule` is the input.
+    pub reproduced: bool,
+}
+
+fn reproduces(
+    target: &Target,
+    proto: &Schedule,
+    decisions: &[Decision],
+    key: &(String, String),
+    probes: &mut u64,
+) -> bool {
+    *probes += 1;
+    let schedule = proto.with_decisions(decisions.to_vec());
+    replay_run(target, &schedule, false).reports.iter().any(|r| r.dedup_key_owned() == *key)
+}
+
+/// Minimizes `schedule` while preserving "replay produces a report with
+/// deduplication key `key`". Spends at most `max_probes` replays.
+pub fn shrink(
+    target: &Target,
+    schedule: &Schedule,
+    key: &(String, String),
+    max_probes: u64,
+) -> ShrinkResult {
+    let mut probes = 0u64;
+    let check = reproduces;
+    if !check(target, schedule, &schedule.decisions, key, &mut probes) {
+        return ShrinkResult { schedule: schedule.clone(), probes, reproduced: false };
+    }
+    let mut best = schedule.decisions.clone();
+
+    // 1. Empty probe.
+    if !best.is_empty() && check(target, schedule, &[], key, &mut probes) {
+        best.clear();
+    }
+
+    // 2. Shortest reproducing prefix, by binary search. `hi` always
+    // reproduces; `lo` is always known-failing (the empty probe above).
+    if !best.is_empty() {
+        let (mut lo, mut hi) = (0usize, best.len());
+        while hi - lo > 1 && probes < max_probes {
+            let mid = lo + (hi - lo) / 2;
+            if check(target, schedule, &best[..mid], key, &mut probes) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        best.truncate(hi);
+    }
+
+    // 3. ddmin chunk removal.
+    let mut granularity = 2usize;
+    while best.len() > 1 && granularity <= best.len() && probes < max_probes {
+        let chunk = best.len().div_ceil(granularity);
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < best.len() && probes < max_probes {
+            let end = (start + chunk).min(best.len());
+            let mut candidate = Vec::with_capacity(best.len() - (end - start));
+            candidate.extend_from_slice(&best[..start]);
+            candidate.extend_from_slice(&best[end..]);
+            if check(target, schedule, &candidate, key, &mut probes) {
+                best = candidate;
+                removed_any = true;
+                // Same start now addresses the next chunk.
+            } else {
+                start = end;
+            }
+        }
+        if removed_any {
+            granularity = granularity.saturating_sub(1).max(2);
+        } else if chunk == 1 {
+            break;
+        } else {
+            granularity = (granularity * 2).min(best.len().max(2));
+        }
+    }
+
+    // 4. Default substitution (back to front), then drop the default tail —
+    // trailing defaults are exactly the replay fallback, so popping them
+    // cannot change the run.
+    let default = Decision::default_for(schedule.max_quantum);
+    for i in (0..best.len()).rev() {
+        if probes >= max_probes {
+            break;
+        }
+        if best[i] == default {
+            continue;
+        }
+        let mut candidate = best.clone();
+        candidate[i] = default;
+        if check(target, schedule, &candidate, key, &mut probes) {
+            best = candidate;
+        }
+    }
+    while best.last() == Some(&default) {
+        best.pop();
+    }
+
+    ShrinkResult { schedule: schedule.with_decisions(best), probes, reproduced: true }
+}

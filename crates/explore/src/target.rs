@@ -1,0 +1,178 @@
+//! Exploration targets: programs with known (annotated) leaky spawn sites.
+//!
+//! A [`Target`] packages everything a schedule run needs — a program
+//! builder, the core count, the tick budget, and the expected leaky sites
+//! used as the campaign's ground truth. Adapters wrap the microbenchmark
+//! corpus (goker + CGO'24 suites) and the Table-2 service workload.
+
+use golf_micro::{corpus, instances_for, Microbenchmark, Source};
+use golf_runtime::ProgramSet;
+use golf_service::{build_service, ServiceConfig};
+
+/// Default virtual-core count for exploration runs. Two cores is the
+/// smallest configuration in which every interleaving class of the corpus
+/// is reachable, and keeps schedules short.
+pub const DEFAULT_PROCS: usize = 2;
+
+/// Default tick budget per schedule, matching the microbenchmark harness.
+pub const DEFAULT_TICK_BUDGET: u64 = 3_000;
+
+enum Builder {
+    Micro { build: fn(usize) -> ProgramSet, instances: usize },
+    Service { config: ServiceConfig },
+}
+
+/// One explorable program with its leak ground truth.
+pub struct Target {
+    /// Target name (corpus benchmark name, or `svc/...`).
+    pub name: String,
+    /// Spawn-site labels annotated as leaky; the campaign hunts these.
+    pub expected_sites: Vec<String>,
+    /// Virtual cores per run.
+    pub procs: usize,
+    /// Scheduler-tick budget per run.
+    pub tick_budget: u64,
+    builder: Builder,
+}
+
+impl Target {
+    /// Wraps one microbenchmark with the given instance cap.
+    pub fn from_micro(mb: &Microbenchmark, max_instances: usize) -> Target {
+        Target {
+            name: mb.name.to_string(),
+            expected_sites: mb.sites.iter().map(|s| (*s).to_string()).collect(),
+            procs: DEFAULT_PROCS,
+            tick_budget: DEFAULT_TICK_BUDGET,
+            builder: Builder::Micro {
+                build: mb.build,
+                instances: instances_for(mb.flakiness, max_instances),
+            },
+        }
+    }
+
+    /// Wraps the Table-2 service workload at the given leak rate, scaled
+    /// down (fewer connections, faster RPCs) so a schedule run stays cheap.
+    pub fn from_service(leak_per_mille: i64) -> Target {
+        let config = ServiceConfig {
+            server_procs: 4,
+            connections: 8,
+            rpc_ticks: 40,
+            think_ticks: 10,
+            leak_per_mille,
+            assist: None,
+            ..ServiceConfig::default()
+        };
+        Target {
+            name: format!("svc/leak{leak_per_mille}"),
+            expected_sites: vec!["handleRequest:child".to_string()],
+            procs: config.server_procs,
+            tick_budget: 2_000,
+            builder: Builder::Service { config },
+        }
+    }
+
+    /// Builds a fresh instance of the target program.
+    pub fn build_program(&self) -> ProgramSet {
+        match &self.builder {
+            Builder::Micro { build, instances } => build(*instances),
+            Builder::Service { config } => build_service(config).0,
+        }
+    }
+
+    /// Substring match for `--match`-style filters (`-` ≡ `_`).
+    pub fn matches(&self, pattern: &str) -> bool {
+        self.name.replace('-', "_").contains(&pattern.replace('-', "_"))
+    }
+}
+
+impl std::fmt::Debug for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Target")
+            .field("name", &self.name)
+            .field("expected_sites", &self.expected_sites)
+            .field("procs", &self.procs)
+            .field("tick_budget", &self.tick_budget)
+            .finish()
+    }
+}
+
+/// Which slice of targets a campaign covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusSelect {
+    /// GoBench "goker" benchmarks only.
+    Goker,
+    /// CGO'24 pattern benchmarks only.
+    Cgo,
+    /// The whole microbenchmark corpus.
+    Micro,
+    /// The leaky service configurations.
+    Service,
+    /// Everything.
+    All,
+}
+
+impl std::str::FromStr for CorpusSelect {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "goker" => Ok(CorpusSelect::Goker),
+            "cgo" => Ok(CorpusSelect::Cgo),
+            "micro" => Ok(CorpusSelect::Micro),
+            "service" => Ok(CorpusSelect::Service),
+            "all" => Ok(CorpusSelect::All),
+            _ => Err(format!("unknown corpus {s:?} (want goker | cgo | micro | service | all)")),
+        }
+    }
+}
+
+/// Assembles the target list for a campaign: the selected corpus slice,
+/// optionally narrowed by a name pattern.
+pub fn targets(select: CorpusSelect, pattern: Option<&str>, max_instances: usize) -> Vec<Target> {
+    let mut out = Vec::new();
+    let micro = |out: &mut Vec<Target>, want: Option<Source>| {
+        for mb in corpus() {
+            if want.is_none_or(|s| mb.source == s) {
+                out.push(Target::from_micro(&mb, max_instances));
+            }
+        }
+    };
+    match select {
+        CorpusSelect::Goker => micro(&mut out, Some(Source::GoBench)),
+        CorpusSelect::Cgo => micro(&mut out, Some(Source::CgoPaper)),
+        CorpusSelect::Micro => micro(&mut out, None),
+        CorpusSelect::Service => {
+            out.push(Target::from_service(100));
+        }
+        CorpusSelect::All => {
+            micro(&mut out, None);
+            out.push(Target::from_service(100));
+        }
+    }
+    if let Some(p) = pattern {
+        out.retain(|t| t.matches(p));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_slices_partition() {
+        let goker = targets(CorpusSelect::Goker, None, 24).len();
+        let cgo = targets(CorpusSelect::Cgo, None, 24).len();
+        let micro = targets(CorpusSelect::Micro, None, 24).len();
+        let all = targets(CorpusSelect::All, None, 24).len();
+        assert_eq!(goker + cgo, micro);
+        assert_eq!(all, micro + 1, "service target rides along");
+        assert!(goker >= 60, "goker suite should dominate: {goker}");
+    }
+
+    #[test]
+    fn pattern_filters() {
+        let t = targets(CorpusSelect::Micro, Some("double_send"), 24);
+        assert!(t.iter().any(|t| t.name == "cgo/double-send"), "{t:?}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Property: record → replay is byte-identical.
+//!
+//! For random corpus programs, strategies, and seeds, replaying a recorded
+//! schedule must reproduce the run exactly: the same JSONL trace bytes,
+//! the same deadlock reports (full struct equality), the same GC totals,
+//! and the same termination. The schedule text format must also round-trip
+//! losslessly, so what is true of an in-memory schedule is true of the
+//! file on disk.
+
+use golf_core::GcTotals;
+use golf_explore::{record_run, replay_run, Schedule, StrategyKind, Target};
+use proptest::prelude::*;
+
+/// The deterministic projection of [`GcTotals`]: everything except the
+/// host-wall-clock measurements (`pause_total_ns`, `mark_total_ns`), which
+/// measure real elapsed time and legitimately vary run to run. All modeled
+/// quantities — cycle counts, modeled STW time, sweep and deadlock counts —
+/// must replay exactly.
+fn deterministic(t: GcTotals) -> GcTotals {
+    GcTotals { pause_total_ns: 0, mark_total_ns: 0, ..t }
+}
+
+fn strategy_for(choice: u64) -> StrategyKind {
+    match choice % 3 {
+        0 => StrategyKind::Random,
+        1 => StrategyKind::Pct { depth: 3 },
+        _ => StrategyKind::Delay { delays: 2 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #[test]
+    fn record_replay_is_byte_identical(
+        bench in 0i64..1000,
+        choice in 0i64..3,
+        seed in 0i64..1_000_000,
+    ) {
+        let corpus = golf_micro::corpus();
+        let mb = &corpus[bench as usize % corpus.len()];
+        let target = Target::from_micro(mb, 8);
+        let strategy = strategy_for(choice as u64);
+        let seed = seed as u64;
+
+        let run = record_run(&target, seed, &strategy, seed ^ 0xABCD, true);
+        let replay = replay_run(&target, &run.schedule, true);
+
+        prop_assert_eq!(&run.trace, &replay.trace, "trace bytes differ for {}", mb.name);
+        prop_assert_eq!(&run.reports, &replay.reports, "reports differ for {}", mb.name);
+        prop_assert_eq!(deterministic(run.totals), deterministic(replay.totals));
+        prop_assert_eq!(run.status, replay.status);
+        prop_assert_eq!(run.ticks, replay.ticks);
+
+        // The on-disk text format loses nothing: parsing the rendered
+        // schedule replays just as well.
+        let parsed = Schedule::parse(&run.schedule.to_text()).expect("round-trip parse");
+        prop_assert_eq!(&parsed, &run.schedule);
+        let from_text = replay_run(&target, &parsed, true);
+        prop_assert_eq!(&from_text.trace, &run.trace);
+        prop_assert_eq!(&from_text.reports, &run.reports);
+    }
+}
+
+/// The service workload replays byte-identically too — its leak decisions
+/// come from the VM RNG, which the schedule's seed pins.
+#[test]
+fn service_record_replay_is_byte_identical() {
+    let target = Target::from_service(100);
+    let run = record_run(&target, 0x5E21, &StrategyKind::Pct { depth: 3 }, 7, true);
+    let replay = replay_run(&target, &run.schedule, true);
+    assert_eq!(run.trace, replay.trace);
+    assert_eq!(run.reports, replay.reports);
+    assert_eq!(deterministic(run.totals), deterministic(replay.totals));
+}

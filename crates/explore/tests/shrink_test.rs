@@ -1,0 +1,71 @@
+//! Shrinking a known double-send leak down to a hand-written minimum.
+//!
+//! `cockroach/1462` is a deterministic goker double-send bug: its child
+//! goroutine blocks on an unreceived channel send under *every* schedule,
+//! including the all-default one. The hand-written minimal schedule is
+//! therefore the empty decision list — the shrinker must reach it, and the
+//! minimized schedule must keep reproducing a report with the same
+//! deduplication key, byte-for-byte across replays.
+
+use golf_explore::{record_run, replay_run, shrink, Decision, StrategyKind, Target};
+
+const BENCH: &str = "cockroach/1462";
+const SITE: &str = "cockroach/1462:95";
+
+fn target() -> Target {
+    let corpus = golf_micro::corpus();
+    let mb = corpus.iter().find(|m| m.name == BENCH).expect("corpus entry");
+    Target::from_micro(mb, 24)
+}
+
+/// The hand-written minimal schedule for a deterministic bug: no decisions
+/// at all (pure default scheduling).
+fn handwritten_minimal() -> Vec<Decision> {
+    Vec::new()
+}
+
+#[test]
+fn double_send_shrinks_to_handwritten_minimum() {
+    let target = target();
+    // A deliberately noisy exploration run: random walk records one
+    // decision per scheduling slot.
+    let run = record_run(&target, 0xC0FFEE, &StrategyKind::Random, 99, false);
+    let report = run
+        .reports
+        .iter()
+        .find(|r| r.spawn_site.as_deref() == Some(SITE))
+        .expect("random schedule exposes the double-send leak");
+    let key = report.dedup_key_owned();
+    assert!(!run.schedule.decisions.is_empty(), "recorded schedule should be non-trivial");
+
+    let result = shrink(&target, &run.schedule, &key, 256);
+    assert!(result.reproduced, "original schedule must reproduce");
+    assert!(
+        result.schedule.decisions.len() <= handwritten_minimal().len(),
+        "shrunk to {} decisions, hand-written minimum is {}",
+        result.schedule.decisions.len(),
+        handwritten_minimal().len(),
+    );
+
+    // The minimized schedule still reproduces a report with the same
+    // deduplication key, and does so byte-for-byte across replays.
+    let a = replay_run(&target, &result.schedule, false);
+    let b = replay_run(&target, &result.schedule, false);
+    let find = |run: &golf_explore::RunOutput| {
+        run.reports.iter().find(|r| r.dedup_key_owned() == key).cloned().expect("report survives")
+    };
+    let ra = find(&a);
+    let rb = find(&b);
+    assert_eq!(format!("{ra:?}"), format!("{rb:?}"), "replay must be byte-identical");
+    assert_eq!(ra.dedup_key_owned(), key);
+}
+
+#[test]
+fn shrink_reports_non_reproducing_inputs() {
+    let target = target();
+    let run = record_run(&target, 1, &StrategyKind::Random, 2, false);
+    let bogus_key = ("nowhere:0".to_string(), "nobody:0".to_string());
+    let result = shrink(&target, &run.schedule, &bogus_key, 64);
+    assert!(!result.reproduced);
+    assert_eq!(result.schedule.decisions, run.schedule.decisions, "input returned unchanged");
+}

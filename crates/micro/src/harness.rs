@@ -3,7 +3,7 @@
 use crate::corpus::Microbenchmark;
 use golf_core::{MarkConfig, Session};
 use golf_runtime::{PanicPolicy, RunStatus, Vm, VmConfig};
-use golf_trace::SharedJsonlSink;
+use golf_trace::{SharedJsonlSink, TraceSink};
 use std::collections::BTreeSet;
 
 /// Parameters for one microbenchmark run.
@@ -75,6 +75,19 @@ pub fn instances_for(flakiness: u32, max_instances: usize) -> usize {
 /// reclamation on), mirroring the artifact's tester: execute until the
 /// deadline, then force a final collection and gather the reports.
 pub fn run_benchmark(mb: &Microbenchmark, settings: &RunSettings) -> BenchRunResult {
+    let sink = settings.trace.clone().map(|s| Box::new(s) as Box<dyn TraceSink>);
+    run_benchmark_with_sink(mb, settings, sink)
+}
+
+/// Like [`run_benchmark`], but with an explicit trace sink (overriding
+/// `settings.trace`). Parallel sweeps pass a per-thread
+/// [`BufferSink`](golf_trace::BufferSink) here and merge the buffers
+/// deterministically afterwards.
+pub fn run_benchmark_with_sink(
+    mb: &Microbenchmark,
+    settings: &RunSettings,
+    sink: Option<Box<dyn TraceSink>>,
+) -> BenchRunResult {
     let n = instances_for(mb.flakiness, settings.max_instances);
     let program = (mb.build)(n);
     let config = VmConfig {
@@ -88,8 +101,8 @@ pub fn run_benchmark(mb: &Microbenchmark, settings: &RunSettings) -> BenchRunRes
     let vm = Vm::boot(program, config);
     let mut session = Session::golf(vm);
     session.set_mark_config(settings.mark);
-    if let Some(sink) = &settings.trace {
-        session.set_trace_sink(Some(Box::new(sink.clone())));
+    if let Some(sink) = sink {
+        session.set_trace_sink(Some(sink));
     }
     let outcome = session.run(settings.tick_budget);
     // Let in-flight instances quiesce, then take the final GC, as in the

@@ -2,10 +2,10 @@
 //! `GOMAXPROCS` configurations — the paper's Table 1.
 
 use crate::corpus::{corpus, Microbenchmark};
-use crate::harness::{run_benchmark, RunSettings};
+use crate::harness::{run_benchmark_with_sink, RunSettings};
 use golf_core::MarkConfig;
 use golf_metrics::{Align, Table};
-use golf_trace::SharedJsonlSink;
+use golf_trace::{BufferSink, SharedJsonlSink, TraceSink};
 use std::sync::Mutex;
 
 /// Experiment configuration.
@@ -17,13 +17,19 @@ pub struct Table1Config {
     pub runs: u32,
     /// Tick budget per run.
     pub tick_budget: u64,
-    /// Base seed; run `r` of cell `(b, p)` derives its own seed from it.
+    /// Base seed. The sweep anchors its stream at
+    /// `seed_for(base_seed, "table1")` and run `r` of cell `(b, p)` offsets
+    /// that stream, so Table 1 seeds are independent of every other
+    /// component derived from the same root seed.
     pub base_seed: u64,
     /// Cap on concurrent instances for flaky benchmarks.
     pub max_instances: usize,
     /// Worker threads (0 = all available cores).
     pub threads: usize,
-    /// When set, every run streams trace events into this shared sink.
+    /// When set, every run records trace events (into a per-worker buffer)
+    /// and the sweep merges them into this shared sink in deterministic
+    /// (benchmark, core-count, run) order once all workers finish — the
+    /// output is byte-identical for any `threads` value.
     pub trace: Option<SharedJsonlSink>,
     /// Sharded parallel mark-engine configuration applied to every run.
     pub mark: MarkConfig,
@@ -143,21 +149,21 @@ impl Table1 {
 /// Runs the full Table 1 sweep over the given corpus subset (pass
 /// [`corpus()`]'s output, or a filtered subset for quick runs).
 pub fn run_table1_on(benchmarks: &[Microbenchmark], config: &Table1Config) -> Table1 {
-    // Tracing forces a single worker thread: with several threads the
-    // interleaving of whole-run event blocks in the shared sink follows OS
-    // scheduling, and the trace would no longer be a pure function of the
-    // seed.
-    let threads = if config.trace.is_some() {
-        1
-    } else if config.threads == 0 {
+    let threads = if config.threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
         config.threads
     };
 
     // Work items: one per benchmark; each runs the full (procs × runs) grid.
-    // (benchmark index, per-site rows, runtime failures, unexpected reports)
-    type BenchResult = (usize, Vec<SiteRow>, u64, u64);
+    // When tracing, each work item records into its own in-memory buffer —
+    // the buffers are merged into the shared sink in benchmark order after
+    // the sweep, so the trace file is a pure function of the seed no matter
+    // how many worker threads ran.
+    // (benchmark index, per-site rows, runtime failures, unexpected
+    // reports, rendered trace block)
+    type BenchResult = (usize, Vec<SiteRow>, u64, u64, String);
+    let stream = golf_runtime::seed_for(config.base_seed, "table1");
     let next = Mutex::new(0usize);
     let results: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
 
@@ -174,6 +180,7 @@ pub fn run_table1_on(benchmarks: &[Microbenchmark], config: &Table1Config) -> Ta
                     break;
                 }
                 let mb = &benchmarks[idx];
+                let buffer = config.trace.as_ref().map(|_| BufferSink::new());
                 let mut per_site: Vec<SiteRow> = mb
                     .sites
                     .iter()
@@ -188,22 +195,23 @@ pub fn run_table1_on(benchmarks: &[Microbenchmark], config: &Table1Config) -> Ta
                 let mut unexpected = 0u64;
                 for (pi, &procs) in config.procs.iter().enumerate() {
                     for run in 0..config.runs {
-                        let seed = config
-                            .base_seed
-                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        let seed = stream
                             .wrapping_add((idx as u64) << 32)
                             .wrapping_add((pi as u64) << 24)
                             .wrapping_add(u64::from(run));
-                        let res = run_benchmark(
+                        let sink =
+                            buffer.as_ref().map(|b| Box::new(b.clone()) as Box<dyn TraceSink>);
+                        let res = run_benchmark_with_sink(
                             mb,
                             &RunSettings {
                                 procs,
                                 seed,
                                 tick_budget: config.tick_budget,
                                 max_instances: config.max_instances,
-                                trace: config.trace.clone(),
+                                trace: None,
                                 mark: config.mark,
                             },
+                            sink,
                         );
                         for row in per_site.iter_mut() {
                             if res.detected_sites.contains(&row.site) {
@@ -214,7 +222,11 @@ pub fn run_table1_on(benchmarks: &[Microbenchmark], config: &Table1Config) -> Ta
                         unexpected += res.unexpected_sites.len() as u64;
                     }
                 }
-                results.lock().expect("poisoned").push((idx, per_site, failures, unexpected));
+                let block = buffer.map(|b| b.contents()).unwrap_or_default();
+                results
+                    .lock()
+                    .expect("poisoned")
+                    .push((idx, per_site, failures, unexpected, block));
             });
         }
     });
@@ -224,10 +236,16 @@ pub fn run_table1_on(benchmarks: &[Microbenchmark], config: &Table1Config) -> Ta
     let mut rows = Vec::new();
     let mut runtime_failures = 0;
     let mut unexpected_reports = 0;
-    for (_, site_rows, failures, unexpected) in collected {
+    for (_, site_rows, failures, unexpected, block) in collected {
         rows.extend(site_rows);
         runtime_failures += failures;
         unexpected_reports += unexpected;
+        if let Some(sink) = &config.trace {
+            sink.append_raw(&block);
+        }
+    }
+    if let Some(sink) = &config.trace {
+        sink.clone().flush();
     }
     Table1 {
         rows,

@@ -72,6 +72,7 @@ mod interp;
 mod object;
 mod profile;
 mod sched;
+mod seed;
 mod sema;
 pub mod stdlib;
 mod sync_ops;
@@ -86,6 +87,8 @@ pub use object::{
     ChanState, CondState, MutexState, Object, RwLockState, TypeId, WaitKind, Waiter, WgState,
 };
 pub use profile::ProfileEntry;
+pub use sched::SchedPolicy;
+pub use seed::seed_for;
 pub use sema::{SemaTreap, SemaWaiter};
 pub use value::{Value, Var};
 pub use vm::{

@@ -223,6 +223,7 @@ pub struct Vm {
     pub(crate) gc_requested: bool,
     pub(crate) counters: VmCounters,
     pub(crate) tracer: Tracer,
+    pub(crate) sched_policy: Option<Box<dyn crate::sched::SchedPolicy>>,
 }
 
 impl Vm {
@@ -265,6 +266,7 @@ impl Vm {
             gc_requested: false,
             counters: VmCounters::default(),
             tracer: Tracer::new(),
+            sched_policy: None,
         };
         let main = vm.spawn(entry, args, None, false, None);
         vm.main = main;
@@ -330,6 +332,24 @@ impl Vm {
     /// embedding session charges stop-the-world GC pauses to the clock.
     pub fn advance_ticks(&mut self, dt: u64) {
         self.tick += dt;
+    }
+
+    // ---- scheduling policy ----
+
+    /// Installs (or removes) a [`SchedPolicy`](crate::SchedPolicy).
+    ///
+    /// While a policy is installed, every scheduling decision (which
+    /// runnable goroutine runs at each slot, and its instruction quantum)
+    /// is delegated to the policy and the scheduler consumes no VM RNG —
+    /// see the trait docs for the determinism contract. Removing the policy
+    /// restores the default seeded-jitter scheduler.
+    pub fn set_sched_policy(&mut self, policy: Option<Box<dyn crate::sched::SchedPolicy>>) {
+        self.sched_policy = policy;
+    }
+
+    /// Whether a scheduling policy is installed.
+    pub fn has_sched_policy(&self) -> bool {
+        self.sched_policy.is_some()
     }
 
     // ---- tracing ----
@@ -599,11 +619,12 @@ impl Vm {
     // ---- roots ----
 
     /// Seed for the collector's mark-worker scheduling (steal-victim
-    /// rotation). Derived from the scheduler seed so one `VmConfig::seed`
-    /// pins *both* the goroutine interleaving and the mark-phase steal
-    /// schedule — reruns replay byte-identically.
+    /// rotation). Split from the root scheduler seed via
+    /// [`seed_for`](crate::seed_for) so one `VmConfig::seed` pins *both*
+    /// the goroutine interleaving and the mark-phase steal schedule —
+    /// reruns replay byte-identically.
     pub fn mark_seed(&self) -> u64 {
-        self.config.seed ^ 0x4D41_524B // "MARK"
+        crate::seed_for(self.config.seed, "mark")
     }
 
     /// Handles intrinsically reachable from the runtime itself: globals and

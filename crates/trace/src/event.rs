@@ -67,6 +67,19 @@ pub enum TraceEvent {
         /// The finished goroutine.
         gid: GoId,
     },
+    /// A scheduling-policy decision: which runnable goroutine was picked
+    /// for a scheduling slot, out of how many candidates, and for what
+    /// instruction quantum. Only emitted while a `SchedPolicy` is installed
+    /// (schedule exploration / replay), so default-scheduler traces are
+    /// unchanged.
+    SchedPick {
+        /// The goroutine picked to run.
+        gid: GoId,
+        /// Number of runnable candidates at this slot.
+        of: u32,
+        /// Instruction quantum granted.
+        quantum: u32,
+    },
     /// A channel was allocated.
     ChanMake {
         /// The goroutine executing `make(chan, cap)`.
@@ -183,6 +196,7 @@ impl TraceEvent {
             | TraceEvent::ChanSend { gid, .. }
             | TraceEvent::ChanRecv { gid, .. }
             | TraceEvent::ChanClose { gid, .. }
+            | TraceEvent::SchedPick { gid, .. }
             | TraceEvent::SemaEnqueue { gid, .. }
             | TraceEvent::SemaDequeue { gid, .. }
             | TraceEvent::DeadlockDetected { gid, .. }
@@ -201,6 +215,7 @@ impl TraceEvent {
             TraceEvent::GoBlock { .. } => "go_block",
             TraceEvent::GoUnblock { .. } => "go_unblock",
             TraceEvent::GoEnd { .. } => "go_end",
+            TraceEvent::SchedPick { .. } => "sched_pick",
             TraceEvent::ChanMake { .. } => "chan_make",
             TraceEvent::ChanSend { .. } => "chan_send",
             TraceEvent::ChanRecv { .. } => "chan_recv",
@@ -259,6 +274,9 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::GoUnblock { gid } => write!(f, "GoUnblock {gid}"),
             TraceEvent::GoEnd { gid } => write!(f, "GoEnd {gid}"),
+            TraceEvent::SchedPick { gid, of, quantum } => {
+                write!(f, "SchedPick {gid} of={of} quantum={quantum}")
+            }
             TraceEvent::ChanMake { gid, chan, cap } => {
                 write!(f, "ChanMake {gid} chan={:#x} cap={cap}", chan.raw())
             }

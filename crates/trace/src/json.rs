@@ -73,6 +73,9 @@ impl TraceRecord {
             TraceEvent::GoUnblock { .. }
             | TraceEvent::GoEnd { .. }
             | TraceEvent::Reclaimed { .. } => {}
+            TraceEvent::SchedPick { of, quantum, .. } => {
+                let _ = write!(out, ",\"of\":{of},\"quantum\":{quantum}");
+            }
             TraceEvent::ChanMake { chan, cap, .. } => {
                 out.push_str(",\"chan\":");
                 push_handle(&mut out, *chan);

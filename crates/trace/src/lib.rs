@@ -40,7 +40,7 @@ mod sink;
 pub use event::{GoId, TraceEvent, TraceRecord};
 pub use metrics::MetricsRegistry;
 pub use recorder::{FlightRecorder, DEFAULT_FLIGHT_RECORDER_CAPACITY};
-pub use sink::{JsonlSink, NullSink, SharedJsonlSink, TraceSink, VecSink};
+pub use sink::{BufferSink, JsonlSink, NullSink, SharedJsonlSink, TraceSink, VecSink};
 
 /// Per-VM tracing front end: an optional sink plus the flight recorder.
 ///

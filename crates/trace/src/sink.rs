@@ -95,6 +95,20 @@ impl SharedJsonlSink {
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
         Ok(SharedJsonlSink { writer: Arc::new(Mutex::new(BufWriter::new(File::create(path)?))) })
     }
+
+    /// Appends a pre-rendered block of JSONL lines under one lock.
+    ///
+    /// Parallel sweeps record each run into its own [`BufferSink`] and merge
+    /// the buffers here in a deterministic order, so the resulting file is
+    /// byte-identical regardless of how many worker threads produced it.
+    pub fn append_raw(&self, block: &str) {
+        if block.is_empty() {
+            return;
+        }
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.write_all(block.as_bytes());
+        }
+    }
 }
 
 impl std::fmt::Debug for SharedJsonlSink {
@@ -114,6 +128,45 @@ impl TraceSink for SharedJsonlSink {
         if let Ok(mut w) = self.writer.lock() {
             let _ = w.flush();
         }
+    }
+}
+
+/// Sink that renders records to JSONL lines in a shared in-memory buffer.
+///
+/// Cloning shares the buffer: hand a clone to a `Vm`/`Session` as its trace
+/// sink, run, then read the rendered block back with
+/// [`BufferSink::contents`]. This is the per-thread half of deterministic
+/// trace merging — each run traces into its own buffer, and the sweep
+/// appends the buffers to the shared output in a fixed order (see
+/// [`SharedJsonlSink::append_raw`]).
+#[derive(Clone, Default)]
+pub struct BufferSink {
+    buf: Arc<Mutex<String>>,
+}
+
+impl BufferSink {
+    /// Creates an empty buffering sink.
+    pub fn new() -> Self {
+        BufferSink::default()
+    }
+
+    /// The JSONL block rendered so far (one line per record).
+    pub fn contents(&self) -> String {
+        self.buf.lock().expect("BufferSink poisoned").clone()
+    }
+}
+
+impl std::fmt::Debug for BufferSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BufferSink")
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn emit(&mut self, record: &TraceRecord) {
+        let mut buf = self.buf.lock().expect("BufferSink poisoned");
+        buf.push_str(&record.to_jsonl());
+        buf.push('\n');
     }
 }
 

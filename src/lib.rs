@@ -15,6 +15,9 @@
 //!   extension (reachable-liveness fixed point, deadlock detection,
 //!   finalizer-preserving recovery).
 //! * [`detectors`] — the GOLEAK and LEAKPROF baselines.
+//! * [`explore`] — systematic schedule exploration, record/replay, and
+//!   shrinking for interleaving-dependent leaks (random walk, PCT,
+//!   delay-bounded strategies over the scheduler-policy hook).
 //! * [`metrics`] — percentiles, box plots, time series, tables.
 //! * [`micro`] — the 73-benchmark corpus and RQ1(a)/RQ2 harnesses.
 //! * [`service`] — the simulated production service and synthetic
@@ -65,6 +68,7 @@
 
 pub use golf_core as core;
 pub use golf_detectors as detectors;
+pub use golf_explore as explore;
 pub use golf_heap as heap;
 pub use golf_metrics as metrics;
 pub use golf_micro as micro;
