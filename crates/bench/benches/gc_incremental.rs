@@ -1,0 +1,239 @@
+//! Incremental-GC benchmark and CI gate: drives a mutation-sparse service
+//! workload (a large retained heap, a handful of mostly-idle goroutines)
+//! through a fixed schedule of execution bursts and forced collections,
+//! once with `--full-gc` semantics and once with the default incremental
+//! mode, and writes `BENCH_gc.json`.
+//!
+//! Costs are *modeled*, in work units, following the repository's
+//! `modeled_stw_ns` convention: an executed cycle costs its marking work
+//! (objects marked + pointer traversals) plus its liveness checks; a
+//! replayed cycle costs one fingerprint comparison per live goroutine plus
+//! a constant for the epoch checks. Wall-clock `mark_ns` on the simulation
+//! thread is reported but not gated.
+//!
+//! Exits non-zero when
+//! - the two modes disagree on any deterministic outcome (reports, live
+//!   set, per-cycle stats) — the soundness half of the gate, or
+//! - the modeled steady-state speedup falls below the 2x target, or
+//! - the schedule never exercises the replay path.
+//!
+//! Usage:
+//! ```text
+//! cargo bench -p golf-bench --bench gc_incremental -- \
+//!     [--nodes 2000] [--cycles 200] [--out BENCH_gc.json]
+//! ```
+
+use golf_bench::arg_value;
+use golf_core::{GcCycleStats, GcEngine, GcMode, GolfConfig};
+use golf_runtime::{FuncBuilder, ProgramSet, Vm, VmConfig};
+use std::fmt::Write as _;
+
+/// Builds the service: `main` retains a `nodes`-long linked chain and
+/// parks; `churn` wakes every 500 ticks to rewrite one field of the chain
+/// head (a sparse mutation); two `idler`s wake on long timers but never
+/// touch the heap.
+fn service(nodes: usize) -> ProgramSet {
+    let mut p = ProgramSet::new();
+    let node_ty = p.struct_type("node", &["next"]);
+    let churn_site = p.site("service:churn");
+    let idle_site = p.site("service:idle");
+
+    let mut b = FuncBuilder::new("churn", 1);
+    let head = b.param(0);
+    let t = b.var("t");
+    b.forever(|b| {
+        b.sleep(500);
+        b.get_field(t, head, 0);
+        b.set_field(head, 0, t);
+    });
+    let churn = p.define(b);
+
+    let mut b = FuncBuilder::new("idler", 0);
+    b.forever(|b| {
+        b.sleep(2_000);
+    });
+    let idler = p.define(b);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let zero = b.int(0);
+    let a = b.var("a");
+    let c = b.var("c");
+    b.new_struct(node_ty, &[zero], a);
+    // Straight-line chain construction: a -> c -> a -> ... The final var
+    // stays on main's stack, retaining the whole chain across every cycle.
+    for i in 1..nodes {
+        if i % 2 == 1 {
+            b.new_struct(node_ty, &[a], c);
+        } else {
+            b.new_struct(node_ty, &[c], a);
+        }
+    }
+    let head = if nodes % 2 == 1 { a } else { c };
+    b.go(churn, &[head], churn_site);
+    b.go(idler, &[], idle_site);
+    b.go(idler, &[], idle_site);
+    b.sleep(10_000_000);
+    p.define(b);
+    p
+}
+
+/// Modeled work units of one cycle (see module docs).
+fn modeled_work(c: &GcCycleStats) -> u64 {
+    if c.incremental_replayed {
+        c.liveness_cache_hits + 2
+    } else {
+        c.objects_marked + c.pointer_traversals + c.liveness_checks + 2
+    }
+}
+
+/// The mode-invariant projection of one cycle, used for the equality gate.
+fn cycle_key(c: &GcCycleStats) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:?}",
+        c.cycle,
+        c.golf_detection,
+        c.mark_iterations,
+        c.objects_marked,
+        c.pointer_traversals,
+        c.liveness_checks,
+        c.deadlocks_detected,
+        c.deadlocks_reclaimed,
+        c.swept_objects,
+        c.live_bytes_after,
+        c.modeled_stw_ns,
+        c.phases
+    )
+}
+
+struct ModeResult {
+    cycles: Vec<GcCycleStats>,
+    live: Vec<u64>,
+    reports: usize,
+    replayed: u64,
+    wall_mark_ns: u64,
+}
+
+fn run_mode(nodes: usize, cycles: usize, incremental: bool) -> ModeResult {
+    let mut vm = Vm::boot(service(nodes), VmConfig { seed: 0x601F, ..VmConfig::default() });
+    let mut gc = GcEngine::new(GcMode::Golf, GolfConfig { incremental, ..Default::default() });
+    vm.run(3_000); // boot: build the chain, park the workers
+    let mut history = Vec::with_capacity(cycles);
+    for _ in 0..cycles {
+        vm.run(40); // a burst far shorter than the churn period: mostly idle
+        history.push(gc.collect(&mut vm));
+    }
+    let mut live: Vec<u64> = vm.heap().handles().map(|h| h.raw()).collect();
+    live.sort_unstable();
+    let wall_mark_ns = history.iter().map(|c| c.mark_ns).sum();
+    ModeResult {
+        cycles: history,
+        live,
+        reports: gc.reports().len(),
+        replayed: gc.cycles_replayed(),
+        wall_mark_ns,
+    }
+}
+
+fn main() {
+    // Under `cargo bench`, harness-less benches receive `--bench`; ignore it.
+    let args: Vec<String> = std::env::args().filter(|a| a != "--bench").collect();
+    let nodes: usize = arg_value(&args, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(2_000);
+    let cycles: usize = arg_value(&args, "--cycles").and_then(|v| v.parse().ok()).unwrap_or(200);
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_gc.json".into());
+
+    eprintln!("gc_incremental: {nodes}-node retained heap, {cycles} cycles, burst 40 ticks");
+    let full = run_mode(nodes, cycles, false);
+    let inc = run_mode(nodes, cycles, true);
+
+    // Soundness gate: identical deterministic outcomes.
+    if full.live != inc.live || full.reports != inc.reports {
+        eprintln!(
+            "gc_incremental: FAIL — outcomes diverge (live {} vs {}, reports {} vs {})",
+            full.live.len(),
+            inc.live.len(),
+            full.reports,
+            inc.reports
+        );
+        std::process::exit(1);
+    }
+    for (f, i) in full.cycles.iter().zip(&inc.cycles) {
+        if cycle_key(f) != cycle_key(i) {
+            eprintln!("gc_incremental: FAIL — cycle {} stats diverge between modes", f.cycle);
+            eprintln!("  full: {}", cycle_key(f));
+            eprintln!("  incr: {}", cycle_key(i));
+            std::process::exit(1);
+        }
+    }
+    if inc.replayed == 0 {
+        eprintln!("gc_incremental: FAIL — schedule never exercised the replay path");
+        std::process::exit(1);
+    }
+
+    // Steady-state = cycles that swept, detected and reclaimed nothing (in
+    // the full run; the schedules are identical). These are the cycles an
+    // idle service pays for over and over — the paper's §6 overhead story.
+    let steady: Vec<usize> = full
+        .cycles
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.swept_objects == 0 && c.deadlocks_detected == 0)
+        .map(|(i, _)| i)
+        .collect();
+    let sum = |r: &ModeResult, idx: &[usize]| -> u64 {
+        idx.iter().map(|&i| modeled_work(&r.cycles[i])).sum()
+    };
+    let all_idx: Vec<usize> = (0..full.cycles.len()).collect();
+    let full_total = sum(&full, &all_idx);
+    let inc_total = sum(&inc, &all_idx);
+    let full_steady = sum(&full, &steady);
+    let inc_steady = sum(&inc, &steady).max(1);
+    let steady_speedup = full_steady as f64 / inc_steady as f64;
+    let total_speedup = full_total as f64 / inc_total.max(1) as f64;
+
+    const TARGET: f64 = 2.0;
+    let meets = steady_speedup >= TARGET;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"nodes\": {nodes},");
+    let _ = writeln!(json, "  \"cycles\": {cycles},");
+    let _ = writeln!(json, "  \"steady_cycles\": {},", steady.len());
+    let _ = writeln!(json, "  \"cycles_replayed\": {},", inc.replayed);
+    let _ = writeln!(json, "  \"outcomes_identical\": true,");
+    json.push_str("  \"modeled_work\": {\n");
+    let _ = writeln!(json, "    \"full_total\": {full_total},");
+    let _ = writeln!(json, "    \"incremental_total\": {inc_total},");
+    let _ = writeln!(json, "    \"full_steady\": {full_steady},");
+    let _ = writeln!(json, "    \"incremental_steady\": {inc_steady}");
+    json.push_str("  },\n");
+    json.push_str("  \"wall_mark_ns\": {\n");
+    let _ = writeln!(json, "    \"full\": {},", full.wall_mark_ns);
+    let _ = writeln!(json, "    \"incremental\": {}", inc.wall_mark_ns);
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"speedup_modeled_steady\": {steady_speedup:.4},");
+    let _ = writeln!(json, "  \"speedup_modeled_total\": {total_speedup:.4},");
+    let _ = writeln!(json, "  \"target_speedup\": {TARGET},");
+    let _ = writeln!(json, "  \"meets_target\": {meets}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("gc_incremental: cannot write {out_path}: {e}"));
+    eprintln!("gc_incremental: wrote {out_path}");
+
+    println!("cycles: {cycles} total, {} steady, {} replayed", steady.len(), inc.replayed);
+    println!(
+        "modeled steady-state work: full {full_steady} vs incremental {inc_steady} \
+         ({steady_speedup:.1}x, target {TARGET}x)"
+    );
+    println!(
+        "wall mark time: full {:.2}ms vs incremental {:.2}ms",
+        full.wall_mark_ns as f64 / 1e6,
+        inc.wall_mark_ns as f64 / 1e6
+    );
+
+    if !meets {
+        eprintln!(
+            "gc_incremental: FAIL — modeled steady-state speedup {steady_speedup:.2}x below {TARGET}x gate"
+        );
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,8 @@
 //! | (no equivalent)     | `--seed <n>` (base seed)              |
 //! | (no equivalent)     | `--mark-workers <n>` (parallel mark)  |
 //! | (no equivalent)     | `--shard-bits <n>` (heap shard size)  |
+//! | (no equivalent)     | `--full-gc` (disable incremental GC)  |
+//! | (no equivalent)     | `--no-barrier` (disable write barrier)|
 //!
 //! ```text
 //! cargo run --release -p golf-bench --bin golf_tester -- \
@@ -23,7 +25,7 @@
 //! ```
 
 use golf_bench::{arg_value, parse_list};
-use golf_core::MarkConfig;
+use golf_core::{GolfConfig, MarkConfig};
 use golf_micro::{corpus, run_perf_comparison, PerfSettings, Table1Config};
 use golf_trace::SharedJsonlSink;
 
@@ -44,6 +46,14 @@ fn main() {
     if let Some(b) = arg_value(&args, "--shard-bits").and_then(|v| v.parse().ok()) {
         mark.shard_bits = b;
     }
+    // Incremental cycles are on by default; --full-gc forces every cycle to
+    // re-mark from scratch, --no-barrier additionally stops the heap from
+    // recording dirty shards (which implies full cycles: quiescence cannot
+    // be proven without the barrier). Results and traces are identical
+    // either way; only the modeled steady-state cost differs.
+    let golf =
+        GolfConfig { incremental: !args.iter().any(|a| a == "--full-gc"), ..GolfConfig::default() };
+    let barrier = !args.iter().any(|a| a == "--no-barrier");
     let trace = arg_value(&args, "--trace").map(|path| {
         let sink = SharedJsonlSink::create(&path)
             .unwrap_or_else(|e| panic!("golf-tester: cannot create trace file {path}: {e}"));
@@ -107,7 +117,16 @@ fn main() {
     );
     let table = golf_micro::run_table1_on(
         &benchmarks,
-        &Table1Config { procs, runs: repeats, trace, base_seed, mark, ..Table1Config::default() },
+        &Table1Config {
+            procs,
+            runs: repeats,
+            trace,
+            base_seed,
+            mark,
+            golf,
+            barrier,
+            ..Table1Config::default()
+        },
     );
 
     let mut out = table.render();

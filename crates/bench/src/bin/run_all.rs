@@ -15,7 +15,10 @@
 //! streams a structured JSONL execution trace of the Table 1 sweep.
 //! `--mark-workers <n>` / `--shard-bits <n>` configure the sharded parallel
 //! mark engine for the Table 1 sweep (results are identical for every
-//! worker count; only modeled mark-phase cost changes).
+//! worker count; only modeled mark-phase cost changes). `--full-gc`
+//! disables incremental cycle replay and `--no-barrier` disables the
+//! dirty-shard write barrier; both leave every result byte-identical and
+//! only change the modeled steady-state GC cost.
 
 use golf_bench::arg_value;
 use golf_metrics::BoxPlot;
@@ -54,6 +57,11 @@ fn main() {
     if let Some(b) = arg_value(&args, "--shard-bits").and_then(|v| v.parse().ok()) {
         mark.shard_bits = b;
     }
+    let golf = golf_core::GolfConfig {
+        incremental: !args.iter().any(|a| a == "--full-gc"),
+        ..golf_core::GolfConfig::default()
+    };
+    let barrier = !args.iter().any(|a| a == "--no-barrier");
     let dir = Path::new(&out);
     std::fs::create_dir_all(dir).expect("create results dir");
     eprintln!(
@@ -69,6 +77,8 @@ fn main() {
         runs: if quick { 10 } else { 100 },
         trace,
         mark,
+        golf,
+        barrier,
         base_seed,
         ..Table1Config::default()
     });

@@ -48,11 +48,35 @@ pub struct GolfConfig {
     pub reclaim: bool,
     /// Root-expansion strategy (§5.3).
     pub expansion: ExpansionStrategy,
+    /// Incremental cycle mode (on by default; `--full-gc` turns it off).
+    ///
+    /// When on, the collector proves *quiescence* before each cycle — the
+    /// heap mutation epoch, the runtime-roots epoch, and every live
+    /// goroutine's liveness fingerprint are unchanged since the previous
+    /// (side-effect-free) cycle — and replays that cycle's outcome instead
+    /// of re-marking the heap: the mark bitmap is reused wholesale and the
+    /// liveness fixed point is skipped. Replayed cycles are byte-identical
+    /// to the full cycles they stand in for (reports, live sets, modeled
+    /// totals, default trace events); only wall-clock fields differ.
+    /// Requires the heap's dirty-shard write barrier
+    /// (`Heap::dirty_tracking`); ignored in [`GcMode::Baseline`].
+    pub incremental: bool,
+    /// Emit opt-in `gc_dirty_shard` / `gc_incremental_skip` trace events
+    /// describing what the incremental mode observed and skipped. **Off by
+    /// default**: full and incremental runs must produce byte-identical
+    /// default traces, which these forensic events would break.
+    pub trace_incremental: bool,
 }
 
 impl Default for GolfConfig {
     fn default() -> Self {
-        GolfConfig { detect_every: 1, reclaim: true, expansion: ExpansionStrategy::Rescan }
+        GolfConfig {
+            detect_every: 1,
+            reclaim: true,
+            expansion: ExpansionStrategy::Rescan,
+            incremental: true,
+            trace_incremental: false,
+        }
     }
 }
 
@@ -183,6 +207,8 @@ mod tests {
     fn defaults_are_go_like() {
         assert_eq!(GolfConfig::default().detect_every, 1);
         assert!(GolfConfig::default().reclaim);
+        assert!(GolfConfig::default().incremental, "incremental cycles are the default");
+        assert!(!GolfConfig::default().trace_incremental);
         assert_eq!(PacerConfig::default().growth_factor, 2.0);
     }
 }

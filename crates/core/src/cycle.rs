@@ -9,13 +9,70 @@ use crate::mark::Marker;
 use crate::pmark::MarkEngine;
 use crate::report::DeadlockReport;
 use crate::stats::{GcCycleStats, GcTotals, PhaseEvent};
-use golf_runtime::{GStatus, Gid, Value, Vm};
+use golf_runtime::{GStatus, Gid, Goroutine, Value, Vm};
 use golf_trace::{GoId, TraceEvent};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn go_id(gid: Gid) -> GoId {
     GoId::new(gid.index(), gid.generation())
+}
+
+/// Reusable per-cycle working state, hoisted out of [`GcEngine::collect`] so
+/// steady-state cycles clear containers instead of reallocating them.
+#[derive(Debug, Default)]
+struct CycleScratch {
+    inert_globals: HashSet<golf_heap::Handle>,
+    inert_sites: HashSet<Arc<str>>,
+    in_roots: HashSet<Gid>,
+    inert_gids: HashSet<Gid>,
+    work: Vec<golf_heap::Handle>,
+    children: Vec<golf_heap::Handle>,
+    added: Vec<Gid>,
+}
+
+impl CycleScratch {
+    fn reset(&mut self) {
+        self.inert_globals.clear();
+        self.inert_sites.clear();
+        self.in_roots.clear();
+        self.inert_gids.clear();
+        self.work.clear();
+        self.children.clear();
+        self.added.clear();
+    }
+}
+
+/// The outcome of the last side-effect-free cycle, kept per detection
+/// parity (`detect_every > 1` alternates detection and plain cycles).
+///
+/// A cached cycle is *replayable* exactly when the world it observed is
+/// provably unchanged: same heap mutation epoch, same runtime-roots epoch,
+/// and the same liveness fingerprint for every live goroutine. A cycle is
+/// cached only if it was *steady* — it detected, reclaimed, preserved,
+/// swept, and resurrected nothing — so replaying its outcome is
+/// byte-identical to re-running it. Partial bitmap reuse under mutation is
+/// deliberately NOT attempted: a dirty object dropping its last reference
+/// to a clean-shard object would leave a stale mark (over-live), and a
+/// dirty-shard object reachable only through clean marked objects would
+/// never be re-discovered (under-marked). Full quiescence is the only
+/// condition under which carrying the bitmap is exact; see DESIGN.md §10.
+#[derive(Debug, Clone)]
+struct CycleCache {
+    heap_epoch: u64,
+    roots_epoch: u64,
+    fingerprints: Vec<u64>,
+    /// `objects_marked` at mark-phase end, *before* the inert/preserved
+    /// re-mark passes — the count the default `gc_phase_end` trace event
+    /// carries, which differs from the final stat when hints are in play.
+    mark_phase_count: u64,
+    stats: GcCycleStats,
+}
+
+fn spawn_site_is_inert(vm: &Vm, sites: &HashSet<Arc<str>>, g: &Goroutine) -> bool {
+    !sites.is_empty()
+        && g.spawn_site.is_some_and(|s| sites.contains(&*vm.program().site_info(s).label))
 }
 
 /// The collector: owns mode, configuration, cumulative statistics, cycle
@@ -62,6 +119,11 @@ pub struct GcEngine {
     reports: Vec<DeadlockReport>,
     keep_history: bool,
     hints: Vec<LivenessHint>,
+    scratch: CycleScratch,
+    /// Replay caches indexed by detection parity (`detection as usize`), so
+    /// `detect_every > 1` workloads can replay both flavors of cycle.
+    caches: [Option<CycleCache>; 2],
+    cycles_replayed: u64,
 }
 
 impl GcEngine {
@@ -77,15 +139,40 @@ impl GcEngine {
             reports: Vec::new(),
             keep_history: true,
             hints: Vec::new(),
+            scratch: CycleScratch::default(),
+            caches: [None, None],
+            cycles_replayed: 0,
         }
     }
 
     /// Configures the sharded parallel mark engine. Worker count, shard
     /// size and steal bounds never change *what* is marked or reported —
     /// only how the marking work is partitioned (and therefore the modeled
-    /// mark-phase critical path).
+    /// mark-phase critical path). Invalidates the incremental replay cache:
+    /// a cached cycle's worker-dependent stats (`mark_rounds`, `mark_span`)
+    /// are only valid for the config they were computed under.
     pub fn set_mark_config(&mut self, mark: MarkConfig) {
         self.mark = mark;
+        self.caches = [None, None];
+    }
+
+    /// Replaces the GOLF configuration (e.g. `--full-gc` turning
+    /// `incremental` off). Invalidates the incremental replay cache.
+    pub fn set_golf_config(&mut self, golf: GolfConfig) {
+        assert!(golf.detect_every >= 1, "detect_every must be >= 1");
+        self.golf = golf;
+        self.caches = [None, None];
+    }
+
+    /// The current GOLF configuration.
+    pub fn golf_config(&self) -> GolfConfig {
+        self.golf
+    }
+
+    /// Number of cycles answered from the incremental replay cache instead
+    /// of being executed.
+    pub fn cycles_replayed(&self) -> u64 {
+        self.cycles_replayed
     }
 
     /// The current mark-engine configuration.
@@ -138,11 +225,92 @@ impl GcEngine {
     /// detection exactness depends on the hints being true.
     pub fn add_liveness_hint(&mut self, hint: LivenessHint) {
         self.hints.push(hint);
+        // A new hint changes what the liveness fixed point would compute;
+        // any cached cycle outcome is stale.
+        self.caches = [None, None];
     }
 
     /// The hints currently in effect.
     pub fn liveness_hints(&self) -> &[LivenessHint] {
         &self.hints
+    }
+
+    /// Attempts to answer this cycle from the replay cache. Succeeds only
+    /// under proven full quiescence: unchanged heap mutation epoch,
+    /// unchanged runtime-roots epoch, and an unchanged liveness fingerprint
+    /// for every live goroutine (in slot order). Checks run cheapest-first.
+    fn try_replay(
+        &mut self,
+        vm: &mut Vm,
+        cycle_no: u64,
+        detection: bool,
+        pause_start: Instant,
+    ) -> Option<GcCycleStats> {
+        let (mut stats, mark_phase_count, hits) = {
+            let cache = self.caches[usize::from(detection)].as_ref()?;
+            if vm.heap().mutation_epoch() != cache.heap_epoch
+                || vm.roots_epoch() != cache.roots_epoch
+            {
+                return None;
+            }
+            let mut n = 0usize;
+            for g in vm.live_goroutines() {
+                if cache.fingerprints.get(n).copied() != Some(g.liveness_fingerprint()) {
+                    return None;
+                }
+                n += 1;
+            }
+            if n != cache.fingerprints.len() {
+                return None;
+            }
+            (cache.stats.clone(), cache.mark_phase_count, n as u64)
+        };
+
+        // Quiescence proven: the cached (side-effect-free) cycle would be
+        // reproduced byte-for-byte, so replay its outcome. The mark bitmap
+        // from the cached cycle is still exact and is reused wholesale —
+        // `clear_dirty_marks` with an empty dirty set clears nothing and
+        // reports how many marks were carried over.
+        stats.cycle = cycle_no;
+        stats.incremental_replayed = true;
+        stats.marks_reused = vm.heap_mut().clear_dirty_marks();
+        stats.liveness_cache_hits = hits;
+        stats.dirty_shards = 0;
+        if vm.trace_enabled() {
+            // The default trace events a steady full cycle would emit.
+            vm.trace_emit(TraceEvent::GcPhaseBegin { cycle: cycle_no, phase: "mark" });
+            vm.trace_emit(TraceEvent::GcPhaseEnd {
+                cycle: cycle_no,
+                phase: "mark",
+                count: mark_phase_count,
+            });
+            if detection {
+                vm.trace_emit(TraceEvent::GcPhaseBegin { cycle: cycle_no, phase: "detect" });
+                vm.trace_emit(TraceEvent::GcPhaseEnd {
+                    cycle: cycle_no,
+                    phase: "detect",
+                    count: 0,
+                });
+            }
+            vm.trace_emit(TraceEvent::GcPhaseBegin { cycle: cycle_no, phase: "sweep" });
+            vm.trace_emit(TraceEvent::GcPhaseEnd { cycle: cycle_no, phase: "sweep", count: 0 });
+            if self.golf.trace_incremental {
+                vm.trace_emit(TraceEvent::GcIncrementalSkip {
+                    cycle: cycle_no,
+                    marks_reused: stats.marks_reused,
+                    liveness_cached: hits,
+                });
+            }
+        }
+        vm.heap_mut().reset_alloc_window();
+        stats.mark_ns = 0;
+        stats.pause_ns = pause_start.elapsed().as_nanos() as u64;
+        self.totals.absorb(&stats);
+        self.cycles_replayed += 1;
+        if self.keep_history {
+            self.history.push(stats.clone());
+        }
+        Some(stats)
     }
 
     /// Runs one full garbage-collection cycle on `vm`.
@@ -157,40 +325,57 @@ impl GcEngine {
         let detection = self.mode == GcMode::Golf
             && (cycle_no - 1).is_multiple_of(u64::from(self.golf.detect_every));
 
+        // Incremental mode needs the write barrier: with tracking disabled
+        // the mutation epoch is frozen, so "unchanged" would prove nothing.
+        let incremental =
+            self.mode == GcMode::Golf && self.golf.incremental && vm.heap().dirty_tracking();
+        if incremental {
+            if let Some(stats) = self.try_replay(vm, cycle_no, detection, pause_start) {
+                return stats;
+            }
+        }
+
         let mut stats =
             GcCycleStats { cycle: cycle_no, golf_detection: detection, ..Default::default() };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.reset();
 
         // ---- Initialization ----
         vm.heap_mut().set_shard_bits(self.mark.shard_bits);
+        if vm.heap().dirty_tracking() {
+            stats.dirty_shards = vm.heap().dirty_shard_count() as u64;
+            if self.golf.trace_incremental && vm.trace_enabled() {
+                for s in vm.heap().dirty_shards() {
+                    vm.trace_emit(TraceEvent::GcDirtyShard { cycle: cycle_no, shard: s as u64 });
+                }
+            }
+        }
+        // A full clear: partial bitmap reuse under mutation is unsound (see
+        // [`CycleCache`]); the bitmap is only ever carried over whole, by
+        // the replay path above.
         vm.heap_mut().clear_marks();
         stats.phases.push(PhaseEvent::Init);
 
         // Liveness hints (§8 future work): inert references are withheld
         // from the liveness fixed point and re-marked before the sweep.
-        let mut inert_globals: HashSet<golf_heap::Handle> = HashSet::new();
-        let mut inert_sites: HashSet<&str> = HashSet::new();
         if detection {
             for hint in &self.hints {
                 match hint {
                     LivenessHint::InertGlobal(id) => {
                         if let Some(h) = vm.global(*id).as_ref_handle() {
-                            inert_globals.insert(h);
+                            scratch.inert_globals.insert(h);
                         }
                     }
                     LivenessHint::InertSpawnSite(label) => {
-                        inert_sites.insert(label.as_str());
+                        scratch.inert_sites.insert(label.clone());
                     }
                 }
             }
         }
-        let goroutine_is_inert = |vm: &Vm, g: &golf_runtime::Goroutine| -> bool {
-            g.spawn_site
-                .is_some_and(|s| inert_sites.contains(vm.program().site_info(s).label.as_str()))
-        };
 
         let mut marker = MarkEngine::new(self.mark, vm.mark_seed());
         for h in vm.runtime_root_handles() {
-            if !inert_globals.contains(&h) {
+            if !scratch.inert_globals.contains(&h) {
                 marker.push_root(h);
             }
         }
@@ -198,12 +383,10 @@ impl GcEngine {
         // Root preparation: GOLF withholds goroutines blocked at
         // deadlock-eligible concurrency operations (paper §4.2 step 1); the
         // baseline includes everything (§5.1).
-        let mut in_roots: HashSet<Gid> = HashSet::new();
-        let mut inert_gids: HashSet<Gid> = HashSet::new();
         let mut goroutine_roots = 0usize;
         for g in vm.live_goroutines() {
-            if detection && goroutine_is_inert(vm, g) {
-                inert_gids.insert(g.id);
+            if detection && spawn_site_is_inert(vm, &scratch.inert_sites, g) {
+                scratch.inert_gids.insert(g.id);
                 continue; // withheld from liveness; re-marked before sweep
             }
             let include = !detection || !g.deadlock_candidate();
@@ -211,7 +394,7 @@ impl GcEngine {
                 for h in g.stack_roots() {
                     marker.push_root(h);
                 }
-                in_roots.insert(g.id);
+                scratch.in_roots.insert(g.id);
                 goroutine_roots += 1;
             }
         }
@@ -226,48 +409,46 @@ impl GcEngine {
             // §5.3's furthest variant: expand the root set *during* marking.
             // One pass, no restarts; an object's waiters join the worklist
             // the instant the object is blackened.
-            let mut work: Vec<golf_heap::Handle> = Vec::new();
             for h in vm.runtime_root_handles() {
-                if !inert_globals.contains(&h) {
-                    work.push(h);
+                if !scratch.inert_globals.contains(&h) {
+                    scratch.work.push(h);
                 }
             }
             for g in vm.live_goroutines() {
-                if in_roots.contains(&g.id) {
+                if scratch.in_roots.contains(&g.id) {
                     for h in g.stack_roots() {
-                        work.push(h);
+                        scratch.work.push(h);
                     }
                 }
             }
-            let mut children = Vec::new();
-            while let Some(h) = work.pop() {
+            while let Some(h) = scratch.work.pop() {
                 if !vm.heap_mut().try_mark(h) {
                     continue;
                 }
                 stats.objects_marked += 1;
-                children.clear();
+                scratch.children.clear();
                 if let Some(obj) = vm.heap().get(h) {
                     use golf_heap::Trace;
-                    obj.trace(&mut |child| children.push(child));
+                    obj.trace(&mut |child| scratch.children.push(child));
                 }
-                stats.pointer_traversals += children.len() as u64;
-                for &c in &children {
+                stats.pointer_traversals += scratch.children.len() as u64;
+                for &c in &scratch.children {
                     if !c.is_masked() && !vm.heap().is_marked(c) {
-                        work.push(c);
+                        scratch.work.push(c);
                     }
                 }
                 // On-the-fly root expansion.
                 for gid in vm.waiters_on(h) {
                     stats.liveness_checks += 1;
-                    if in_roots.contains(&gid) || inert_gids.contains(&gid) {
+                    if scratch.in_roots.contains(&gid) || scratch.inert_gids.contains(&gid) {
                         continue;
                     }
                     let candidate = vm.goroutine(gid).is_some_and(|g| g.deadlock_candidate());
                     if candidate {
-                        in_roots.insert(gid);
+                        scratch.in_roots.insert(gid);
                         if let Some(g) = vm.goroutine(gid) {
                             for root in g.stack_roots() {
-                                work.push(root);
+                                scratch.work.push(root);
                             }
                         }
                     }
@@ -292,7 +473,7 @@ impl GcEngine {
                 }
                 // Root expansion (paper §4.2 step 3): a blocked goroutine whose
                 // B(g) intersects the marked heap is reachably live.
-                let mut added: Vec<Gid> = Vec::new();
+                scratch.added.clear();
                 match self.golf.expansion {
                     // Incremental expansion happens inside the single-pass
                     // marking loop above; unreachable here.
@@ -301,8 +482,8 @@ impl GcEngine {
                     }
                     ExpansionStrategy::Rescan => {
                         for g in vm.live_goroutines() {
-                            if in_roots.contains(&g.id)
-                                || inert_gids.contains(&g.id)
+                            if scratch.in_roots.contains(&g.id)
+                                || scratch.inert_gids.contains(&g.id)
                                 || !g.deadlock_candidate()
                             {
                                 continue;
@@ -321,7 +502,7 @@ impl GcEngine {
                                 }
                             }
                             if live {
-                                added.push(g.id);
+                                scratch.added.push(g.id);
                             }
                         }
                     }
@@ -331,33 +512,35 @@ impl GcEngine {
                         for h in marker.take_newly_marked() {
                             for gid in vm.waiters_on(h) {
                                 stats.liveness_checks += 1;
-                                if in_roots.contains(&gid)
-                                    || inert_gids.contains(&gid)
-                                    || added.contains(&gid)
+                                if scratch.in_roots.contains(&gid)
+                                    || scratch.inert_gids.contains(&gid)
+                                    || scratch.added.contains(&gid)
                                 {
                                     continue;
                                 }
                                 let candidate =
                                     vm.goroutine(gid).is_some_and(|g| g.deadlock_candidate());
                                 if candidate {
-                                    added.push(gid);
+                                    scratch.added.push(gid);
                                 }
                             }
                         }
                     }
                 }
-                if added.is_empty() {
+                if scratch.added.is_empty() {
                     break;
                 }
-                for gid in &added {
-                    in_roots.insert(*gid);
+                for gid in &scratch.added {
+                    scratch.in_roots.insert(*gid);
                     if let Some(g) = vm.goroutine(*gid) {
                         for h in g.stack_roots() {
                             marker.push_root(h);
                         }
                     }
                 }
-                stats.phases.push(PhaseEvent::RootExpansion { goroutines_added: added.len() });
+                stats
+                    .phases
+                    .push(PhaseEvent::RootExpansion { goroutines_added: scratch.added.len() });
             }
             stats.objects_marked = marker.marked();
             stats.pointer_traversals = marker.traversals();
@@ -368,6 +551,9 @@ impl GcEngine {
         }
         stats.mark_ns = mark_start.elapsed().as_nanos() as u64;
         stats.phases.push(PhaseEvent::MarkDone);
+        // The marked count *before* the inert/preserved re-mark passes —
+        // what the `gc_phase_end` mark event reports, cached for replay.
+        let mark_phase_count = stats.objects_marked;
         if vm.trace_enabled() {
             vm.trace_emit(TraceEvent::GcPhaseEnd {
                 cycle: cycle_no,
@@ -399,8 +585,8 @@ impl GcEngine {
                 .live_goroutines()
                 .filter(|g| {
                     g.deadlock_candidate()
-                        && !in_roots.contains(&g.id)
-                        && !inert_gids.contains(&g.id)
+                        && !scratch.in_roots.contains(&g.id)
+                        && !scratch.inert_gids.contains(&g.id)
                 })
                 .map(|g| g.id)
                 .collect();
@@ -482,12 +668,12 @@ impl GcEngine {
 
         // Re-mark the hinted (inert) sources: they were withheld from the
         // liveness computation only; their memory is still reachable.
-        if !inert_globals.is_empty() || !inert_gids.is_empty() {
+        if !scratch.inert_globals.is_empty() || !scratch.inert_gids.is_empty() {
             let mut remark = Marker::new();
-            for &h in &inert_globals {
+            for &h in &scratch.inert_globals {
                 remark.push_root(h);
             }
-            for &gid in &inert_gids {
+            for &gid in &scratch.inert_gids {
                 if let Some(g) = vm.goroutine(gid) {
                     for h in g.stack_roots() {
                         remark.push_root(h);
@@ -509,8 +695,10 @@ impl GcEngine {
         // Unreachable objects with finalizers were resurrected; run their
         // finalizers on a runtime-internal goroutine, whose stack keeps the
         // object alive until the finalizer has observed it.
+        let mut finalizer_spawns = 0usize;
         for (h, fin) in outcome.finalizable {
             vm.spawn_internal(fin.func, &[Value::Ref(h)]);
+            finalizer_spawns += 1;
         }
         stats
             .phases
@@ -535,10 +723,34 @@ impl GcEngine {
             + stats.liveness_checks * 150
             + stats.deadlocks_reclaimed as u64 * 3_000
             + stats.deadlocks_detected as u64 * 2_000;
+
+        // Cache this cycle for replay if it was *steady* — side-effect
+        // free, so reproducing its outcome under quiescence is exact.
+        if incremental {
+            let steady = stats.deadlocks_detected == 0
+                && stats.deadlocks_reclaimed == 0
+                && stats.preserved_for_finalizers == 0
+                && stats.swept_objects == 0
+                && finalizer_spawns == 0;
+            self.caches[usize::from(detection)] = steady.then(|| CycleCache {
+                heap_epoch: vm.heap().mutation_epoch(),
+                roots_epoch: vm.roots_epoch(),
+                fingerprints: vm.live_goroutines().map(Goroutine::liveness_fingerprint).collect(),
+                mark_phase_count,
+                stats: stats.clone(),
+            });
+        }
+        // Start the next barrier window: dirty bits recorded before this
+        // point are consumed by this cycle's full re-mark.
+        if vm.heap().dirty_tracking() {
+            vm.heap_mut().clear_dirty();
+        }
+
         self.totals.absorb(&stats);
         if self.keep_history {
             self.history.push(stats.clone());
         }
+        self.scratch = scratch;
         stats
     }
 

@@ -42,7 +42,7 @@ pub enum LivenessHint {
     /// (Listing 5's heartbeat, which only touches `d.ticks`). Their stacks
     /// are withheld from the liveness fixed point — but they are never
     /// themselves reported, and their memory stays alive.
-    InertSpawnSite(String),
+    InertSpawnSite(std::sync::Arc<str>),
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use golf_runtime::{Gid, WaitReason};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// One detected partial deadlock.
 ///
@@ -20,8 +21,9 @@ pub struct DeadlockReport {
     /// `func:pc` of the blocking operation.
     pub block_location: String,
     /// Label of the `go` statement that created the goroutine, if known
-    /// (`None` for the main goroutine).
-    pub spawn_site: Option<String>,
+    /// (`None` for the main goroutine). Shares the program's interned site
+    /// label — building a report does not allocate for it.
+    pub spawn_site: Option<Arc<str>>,
     /// Stack trace, innermost frame first, as `func:pc` strings.
     pub stack: Vec<String>,
     /// GC cycle in which the deadlock was detected.
@@ -121,7 +123,7 @@ mod tests {
             gid: golf_runtime::test_gid(1),
             wait_reason: WaitReason::ChanSend,
             block_location: block.to_string(),
-            spawn_site: site.map(String::from),
+            spawn_site: site.map(Arc::from),
             stack: vec!["task:2".into(), "main:4".into()],
             cycle: 1,
             tick: 100,

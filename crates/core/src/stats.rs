@@ -88,6 +88,24 @@ pub struct GcCycleStats {
     /// `(goroutine, blocking object)` reachability checks — the `S` pairs
     /// factor in the paper's `O(N² + NS)` bound (§5.3).
     pub liveness_checks: u64,
+    /// Whether this cycle was *replayed* from the incremental cache instead
+    /// of executed: the collector proved full quiescence (heap epoch, roots
+    /// epoch, and every goroutine fingerprint unchanged since the previous
+    /// side-effect-free cycle) and reused its outcome wholesale. All
+    /// deterministic fields of a replayed cycle equal what a full cycle
+    /// would have computed; this flag and the two fields below are the only
+    /// mode-dependent ones (differential comparisons exclude them).
+    pub incremental_replayed: bool,
+    /// Marks carried over from the previous cycle's bitmap instead of being
+    /// recomputed (the whole live set on a replayed cycle, 0 otherwise).
+    pub marks_reused: u64,
+    /// Goroutines whose liveness verdict was validated by fingerprint
+    /// comparison instead of re-running the fixed point (every live
+    /// goroutine on a replayed cycle, 0 otherwise).
+    pub liveness_cache_hits: u64,
+    /// Heap shards the write barrier flagged dirty since the previous
+    /// cycle (0 when the barrier is disabled).
+    pub dirty_shards: u64,
     /// Goroutines reported as deadlocked this cycle.
     pub deadlocks_detected: usize,
     /// Goroutines forcefully shut down this cycle.

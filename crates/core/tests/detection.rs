@@ -76,7 +76,8 @@ fn listing3(call_wait_for_results: bool) -> ProgramSet {
 fn listing3_buggy_path_detects_both_goroutines() {
     let mut s = golf_session(listing3(false));
     assert_eq!(s.run(100_000).status, RunStatus::MainDone);
-    let mut sites: Vec<_> = s.reports().iter().map(|r| r.spawn_site.clone().unwrap()).collect();
+    let mut sites: Vec<_> =
+        s.reports().iter().map(|r| r.spawn_site.clone().unwrap().to_string()).collect();
     sites.sort();
     assert_eq!(sites, vec!["NewFuncManager:34", "NewFuncManager:37"]);
     // Recovery reclaimed both goroutines and the channels they blocked on.

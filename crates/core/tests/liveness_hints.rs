@@ -121,7 +121,7 @@ fn inert_spawn_site_hint_exposes_listing5() {
     let hb = vm
         .live_goroutines()
         .find(|g| {
-            g.spawn_site.is_some_and(|s| vm.program().site_info(s).label == "newDispatcher:71")
+            g.spawn_site.is_some_and(|s| &*vm.program().site_info(s).label == "newDispatcher:71")
         })
         .expect("heartbeat alive");
     assert_ne!(hb.status, GStatus::Deadlocked);
@@ -184,7 +184,8 @@ fn hints_do_not_affect_unrelated_goroutines() {
     let mut gc = GcEngine::golf();
     gc.add_liveness_hint(LivenessHint::InertGlobal(g_dead));
     gc.collect(&mut vm);
-    let sites: Vec<_> = gc.reports().iter().filter_map(|r| r.spawn_site.clone()).collect();
+    let sites: Vec<_> =
+        gc.reports().iter().filter_map(|r| r.spawn_site.as_deref().map(str::to_string)).collect();
     assert_eq!(sites, vec!["main:leak".to_string()], "only the hinted-dead global's goroutine");
     // The consumer still completes once main sends.
     vm.run(100_000);

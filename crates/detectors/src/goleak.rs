@@ -133,7 +133,7 @@ pub fn find_leaks(vm: &Vm, opts: GoleakOptions) -> Vec<LeakEntry> {
             gid: g.id,
             wait_reason: g.wait_reason(),
             location,
-            spawn_site: g.spawn_site.map(|s| vm.program().site_info(s).label.clone()),
+            spawn_site: g.spawn_site.map(|s| vm.program().site_info(s).label.to_string()),
         });
     }
     out.sort_by_key(|a| a.gid);

@@ -51,12 +51,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dirty;
 mod handle;
 mod shard;
 mod slot_heap;
 mod stats;
 mod trace;
 
+pub use dirty::DirtyMap;
 pub use handle::Handle;
 pub use shard::{MarkBits, DEFAULT_SHARD_BITS, MAX_SHARD_BITS, MIN_SHARD_BITS};
 pub use slot_heap::{Heap, SweepOutcome};

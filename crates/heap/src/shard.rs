@@ -108,6 +108,20 @@ impl MarkBits {
         }
     }
 
+    /// Zeroes every bit in shard `s` only (no-op beyond the covered range).
+    /// The incremental collector uses this to wipe exactly the shards the
+    /// write barrier flagged dirty, preserving clean shards' bitmaps.
+    pub fn clear_shard(&mut self, s: usize) {
+        if let Some(shard) = self.shards.get_mut(s) {
+            shard.fill(0);
+        }
+    }
+
+    /// Set bits within shard `s` (a single-shard popcount).
+    pub fn shard_set_count(&self, s: usize) -> u64 {
+        self.shards.get(s).map_or(0, |shard| shard.iter().map(|w| u64::from(w.count_ones())).sum())
+    }
+
     /// Total set bits (a per-shard popcount).
     pub fn set_count(&self) -> u64 {
         self.shards.iter().flatten().map(|w| u64::from(w.count_ones())).sum()
@@ -195,6 +209,23 @@ mod tests {
             assert!(m.is_set(i), "bit {i} lost by reshard");
         }
         assert_eq!(m.set_count(), bits.len() as u64);
+    }
+
+    #[test]
+    fn clear_shard_is_local() {
+        let mut m = MarkBits::new(6);
+        for i in [0usize, 63, 64, 127, 128] {
+            m.try_set(i);
+        }
+        assert_eq!(m.shard_set_count(0), 2);
+        assert_eq!(m.shard_set_count(1), 2);
+        m.clear_shard(1);
+        assert!(m.is_set(0) && m.is_set(63), "shard 0 untouched");
+        assert!(!m.is_set(64) && !m.is_set(127), "shard 1 wiped");
+        assert!(m.is_set(128), "shard 2 untouched");
+        assert_eq!(m.set_count(), 3);
+        m.clear_shard(99); // beyond covered range: no-op
+        assert_eq!(m.shard_set_count(99), 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The slot-table heap: allocation, sharded mark bitmaps, sweeping,
 //! finalizers.
 
+use crate::dirty::DirtyMap;
 use crate::shard::MarkBits;
 use crate::{Handle, HeapStats, Trace};
 
@@ -54,6 +55,7 @@ pub struct Heap<O, F = ()> {
     slots: Vec<Slot<O, F>>,
     free: Vec<u32>,
     marks: MarkBits,
+    dirty: DirtyMap,
     stats: HeapStats,
 }
 
@@ -83,6 +85,7 @@ impl<O: Trace, F> Heap<O, F> {
             slots: Vec::new(),
             free: Vec::new(),
             marks: MarkBits::default(),
+            dirty: DirtyMap::new(),
             stats: HeapStats::default(),
         }
     }
@@ -93,6 +96,7 @@ impl<O: Trace, F> Heap<O, F> {
             slots: Vec::with_capacity(cap),
             free: Vec::new(),
             marks: MarkBits::default(),
+            dirty: DirtyMap::new(),
             stats: HeapStats::default(),
         }
     }
@@ -108,11 +112,14 @@ impl<O: Trace, F> Heap<O, F> {
             slot.bytes = bytes;
             slot.finalizer = None;
             self.marks.clear(idx as usize);
-            Handle::new(idx, slot.generation)
+            let generation = slot.generation;
+            self.dirty.record(self.marks.shard_of(idx as usize));
+            Handle::new(idx, generation)
         } else {
             let idx = u32::try_from(self.slots.len()).expect("heap slot index overflow");
             self.slots.push(Slot { obj: Some(obj), generation: 0, bytes, finalizer: None });
             self.marks.ensure(self.slots.len());
+            self.dirty.record(self.marks.shard_of(idx as usize));
             Handle::new(idx, 0)
         }
     }
@@ -143,7 +150,13 @@ impl<O: Trace, F> Heap<O, F> {
 
     /// Resolves a handle to an exclusive reference. Same `None` cases as
     /// [`Heap::get`].
+    ///
+    /// A successful resolution counts as a mutation for the dirty-shard
+    /// write barrier: the caller holds `&mut O` and the collector must
+    /// assume the object's outgoing references changed.
     pub fn get_mut(&mut self, h: Handle) -> Option<&mut O> {
+        self.slot(h)?;
+        self.dirty.record(self.marks.shard_of(h.index() as usize));
         self.slot_mut(h).and_then(|s| s.obj.as_mut())
     }
 
@@ -163,6 +176,7 @@ impl<O: Trace, F> Heap<O, F> {
         slot.generation = slot.generation.wrapping_add(1);
         slot.finalizer = None;
         self.marks.clear(h.index() as usize);
+        self.dirty.record(self.marks.shard_of(h.index() as usize));
         self.free.push(h.index());
         self.stats.on_free(bytes);
         obj
@@ -227,8 +241,70 @@ impl<O: Trace, F> Heap<O, F> {
     /// Re-shards the mark bitmaps to a new `shard_bits` (clamped to the
     /// supported range), preserving any current marks. Collectors call this
     /// at cycle initialization when their configured shard size differs.
+    ///
+    /// An actual reshard invalidates the shard geometry the dirty map was
+    /// recorded against, so every shard is flagged dirty and the mutation
+    /// epoch is bumped. A no-op call (same `shard_bits`) records nothing.
     pub fn set_shard_bits(&mut self, bits: u32) {
+        let before = self.marks.shard_bits();
         self.marks.reshard(bits);
+        if self.marks.shard_bits() != before {
+            self.dirty.mark_all(self.marks.shard_count());
+        }
+    }
+
+    /// The monotone heap mutation counter maintained by the write barrier.
+    /// Equal values at two points in time prove no recorded mutation
+    /// happened in between. Only meaningful while
+    /// [`Heap::dirty_tracking`] is on.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.dirty.epoch()
+    }
+
+    /// Whether the dirty-shard write barrier is recording mutations
+    /// (default: on).
+    pub fn dirty_tracking(&self) -> bool {
+        self.dirty.enabled()
+    }
+
+    /// Turns the write barrier on or off (`--no-barrier`). While off,
+    /// [`Heap::mutation_epoch`] is frozen and incremental collection must
+    /// not be trusted.
+    pub fn set_dirty_tracking(&mut self, enabled: bool) {
+        self.dirty.set_enabled(enabled);
+    }
+
+    /// Number of shards mutated since the last [`Heap::clear_dirty`].
+    pub fn dirty_shard_count(&self) -> usize {
+        self.dirty.dirty_count()
+    }
+
+    /// Indices of shards mutated since the last [`Heap::clear_dirty`],
+    /// ascending.
+    pub fn dirty_shards(&self) -> Vec<usize> {
+        self.dirty.dirty_shards()
+    }
+
+    /// Whether shard `s` was mutated since the last [`Heap::clear_dirty`].
+    pub fn shard_is_dirty(&self, s: usize) -> bool {
+        self.dirty.is_dirty(s)
+    }
+
+    /// Clears the dirty-shard bits (end of a GC cycle, once the collector
+    /// has consumed them). The mutation epoch is untouched.
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// Incremental alternative to [`Heap::clear_marks`]: zeroes mark bits
+    /// only in shards the write barrier flagged dirty, preserving the
+    /// previous cycle's marks in clean shards. Returns the number of marks
+    /// preserved.
+    pub fn clear_dirty_marks(&mut self) -> u64 {
+        for s in self.dirty.dirty_shards() {
+            self.marks.clear_shard(s);
+        }
+        self.marks.set_count()
     }
 
     /// Reclaims every live, unmarked object — except those with pending
@@ -253,6 +329,7 @@ impl<O: Trace, F> Heap<O, F> {
             slot.obj = None;
             slot.generation = slot.generation.wrapping_add(1);
             let bytes = slot.bytes;
+            self.dirty.record(self.marks.shard_of(idx));
             self.free.push(idx as u32);
             self.stats.on_free(bytes);
             outcome.reclaimed_objects += 1;
@@ -264,13 +341,17 @@ impl<O: Trace, F> Heap<O, F> {
     /// Attaches a finalizer payload to `h`. Returns `false` if the handle is
     /// not live. Replaces any existing finalizer, like `runtime.SetFinalizer`.
     pub fn set_finalizer(&mut self, h: Handle, fin: F) -> bool {
-        match self.slot_mut(h) {
+        let attached = match self.slot_mut(h) {
             Some(slot) => {
                 slot.finalizer = Some(fin);
                 true
             }
             None => false,
+        };
+        if attached {
+            self.dirty.record(self.marks.shard_of(h.index() as usize));
         }
+        attached
     }
 
     /// Whether `h` is live and has a finalizer attached.
@@ -280,7 +361,11 @@ impl<O: Trace, F> Heap<O, F> {
 
     /// Removes and returns the finalizer attached to `h`, if any.
     pub fn take_finalizer(&mut self, h: Handle) -> Option<F> {
-        self.slot_mut(h)?.finalizer.take()
+        let fin = self.slot_mut(h)?.finalizer.take();
+        if fin.is_some() {
+            self.dirty.record(self.marks.shard_of(h.index() as usize));
+        }
+        fin
     }
 
     /// Recomputes the byte size of `h` after in-place growth (e.g. a channel
@@ -298,6 +383,7 @@ impl<O: Trace, F> Heap<O, F> {
         let old = slot.bytes;
         slot.bytes = new_bytes;
         self.stats.heap_alloc_bytes = self.stats.heap_alloc_bytes - old + new_bytes;
+        self.dirty.record(self.marks.shard_of(h.index() as usize));
     }
 
     /// Iterates over `(handle, object)` pairs for every live object.
@@ -586,6 +672,81 @@ mod tests {
         heap.free(handles[0]);
         assert_eq!(heap.marked_count(), 3);
         heap.validate().unwrap();
+    }
+
+    #[test]
+    fn barrier_records_mutations_and_epoch() {
+        let mut heap: Heap<Node, u32> = Heap::new();
+        assert!(heap.dirty_tracking());
+        assert_eq!(heap.mutation_epoch(), 0);
+        let a = heap.alloc(leaf(1));
+        assert_eq!(heap.dirty_shard_count(), 1);
+        let e = heap.mutation_epoch();
+        assert!(e > 0);
+        // Reads are not mutations.
+        heap.get(a);
+        assert!(heap.contains(a));
+        heap.is_marked(a);
+        assert_eq!(heap.mutation_epoch(), e);
+        // Failed exclusive lookups are not mutations either.
+        heap.free(a);
+        let after_free = heap.mutation_epoch();
+        assert!(after_free > e);
+        assert!(heap.get_mut(a).is_none());
+        assert!(!heap.set_finalizer(a, 1));
+        assert!(heap.take_finalizer(a).is_none());
+        assert_eq!(heap.mutation_epoch(), after_free);
+        // Successful ones are.
+        let b = heap.alloc(leaf(1));
+        let before = heap.mutation_epoch();
+        heap.get_mut(b).unwrap().payload = 2;
+        assert!(heap.mutation_epoch() > before);
+    }
+
+    #[test]
+    fn clear_dirty_marks_preserves_clean_shards() {
+        // 64-slot shards: fill two shards, mark everything, then dirty only
+        // the second shard and verify the first shard's marks survive.
+        let mut heap: Heap<Node> = Heap::new();
+        heap.set_shard_bits(6);
+        let handles: Vec<Handle> = (0..128).map(|_| heap.alloc(leaf(1))).collect();
+        heap.clear_marks();
+        for &h in &handles {
+            heap.try_mark(h);
+        }
+        heap.clear_dirty();
+        heap.get_mut(handles[80]).unwrap().payload = 9; // dirties shard 1 only
+        assert_eq!(heap.dirty_shards(), vec![1]);
+        assert!(heap.shard_is_dirty(1));
+        assert!(!heap.shard_is_dirty(0));
+        let preserved = heap.clear_dirty_marks();
+        assert_eq!(preserved, 64, "shard 0's marks carried over");
+        assert!(heap.is_marked(handles[0]));
+        assert!(!heap.is_marked(handles[80]));
+        // Marking/clearing marks is collector state, not mutation.
+        let e = heap.mutation_epoch();
+        heap.clear_marks();
+        heap.try_mark(handles[0]);
+        assert_eq!(heap.mutation_epoch(), e);
+    }
+
+    #[test]
+    fn reshard_dirties_everything_and_disabled_barrier_freezes_epoch() {
+        let mut heap: Heap<Node> = Heap::new();
+        heap.set_shard_bits(6);
+        for _ in 0..70 {
+            heap.alloc(leaf(1));
+        }
+        heap.clear_dirty();
+        heap.set_shard_bits(6); // no-op: same geometry
+        assert_eq!(heap.dirty_shard_count(), 0);
+        heap.set_shard_bits(7);
+        assert_eq!(heap.dirty_shard_count(), heap.shard_count(), "reshard dirties all");
+        heap.set_dirty_tracking(false);
+        let e = heap.mutation_epoch();
+        heap.alloc(leaf(1));
+        assert_eq!(heap.mutation_epoch(), e, "disabled barrier records nothing");
+        assert!(!heap.dirty_tracking());
     }
 
     #[test]

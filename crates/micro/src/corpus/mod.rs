@@ -141,6 +141,6 @@ mod tests {
         // ProgramSet would be nicer, but labels are reachable through the
         // public site_info(SiteId). We reconstruct ids by probing go sites
         // through benchmark programs' registered order.
-        p.site_label_by_index(i)
+        p.site_label_by_index(i).to_string()
     }
 }

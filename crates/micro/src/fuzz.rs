@@ -56,9 +56,9 @@ pub fn fuzz_benchmark(
         let before = detected_sites.len();
         let mut count = 0;
         for r in session.reports() {
-            if let Some(site) = &r.spawn_site {
-                if mb.sites.contains(&site.as_str()) {
-                    detected_sites.insert(site.clone());
+            if let Some(site) = r.spawn_site.as_deref() {
+                if mb.sites.contains(&site) {
+                    detected_sites.insert(site.to_string());
                     count += 1;
                 }
             }

@@ -1,7 +1,7 @@
 //! Single-run execution of one microbenchmark under GOLF.
 
 use crate::corpus::Microbenchmark;
-use golf_core::{MarkConfig, Session};
+use golf_core::{GolfConfig, MarkConfig, Session};
 use golf_runtime::{PanicPolicy, RunStatus, Vm, VmConfig};
 use golf_trace::{SharedJsonlSink, TraceSink};
 use std::collections::BTreeSet;
@@ -24,6 +24,14 @@ pub struct RunSettings {
     /// Sharded parallel mark-engine configuration (worker count, shard
     /// size). Any worker count yields the same results and the same trace.
     pub mark: MarkConfig,
+    /// GOLF collector options: incremental replay (`--full-gc` clears
+    /// `golf.incremental`), detection cadence, reclamation. Incremental
+    /// and full runs yield the same results and the same trace.
+    pub golf: GolfConfig,
+    /// Whether the heap's dirty-shard write barrier records mutations
+    /// (`--no-barrier` turns it off, which also disables incremental
+    /// replay: without the barrier, quiescence cannot be proven).
+    pub barrier: bool,
 }
 
 impl Default for RunSettings {
@@ -35,6 +43,8 @@ impl Default for RunSettings {
             max_instances: 24,
             trace: None,
             mark: MarkConfig::default(),
+            golf: GolfConfig::default(),
+            barrier: true,
         }
     }
 }
@@ -101,6 +111,8 @@ pub fn run_benchmark_with_sink(
     let vm = Vm::boot(program, config);
     let mut session = Session::golf(vm);
     session.set_mark_config(settings.mark);
+    session.engine_mut().set_golf_config(settings.golf);
+    session.vm_mut().heap_mut().set_dirty_tracking(settings.barrier);
     if let Some(sink) = sink {
         session.set_trace_sink(Some(sink));
     }
@@ -113,10 +125,11 @@ pub fn run_benchmark_with_sink(
     let mut unexpected = BTreeSet::new();
     for r in session.reports() {
         if let Some(site) = &r.spawn_site {
-            if mb.sites.contains(&site.as_str()) {
-                detected_sites.insert(site.clone());
+            let label: &str = site;
+            if mb.sites.contains(&label) {
+                detected_sites.insert(label.to_string());
             } else {
-                unexpected.insert(site.clone());
+                unexpected.insert(label.to_string());
             }
         } else {
             unexpected.insert(format!("<main> at {}", r.block_location));

@@ -3,7 +3,7 @@
 
 use crate::corpus::{corpus, Microbenchmark};
 use crate::harness::{run_benchmark_with_sink, RunSettings};
-use golf_core::MarkConfig;
+use golf_core::{GolfConfig, MarkConfig};
 use golf_metrics::{Align, Table};
 use golf_trace::{BufferSink, SharedJsonlSink, TraceSink};
 use std::sync::Mutex;
@@ -33,6 +33,11 @@ pub struct Table1Config {
     pub trace: Option<SharedJsonlSink>,
     /// Sharded parallel mark-engine configuration applied to every run.
     pub mark: MarkConfig,
+    /// GOLF collector options applied to every run (`--full-gc` clears
+    /// `incremental`).
+    pub golf: GolfConfig,
+    /// Whether the dirty-shard write barrier is active (`--no-barrier`).
+    pub barrier: bool,
 }
 
 impl Default for Table1Config {
@@ -46,6 +51,8 @@ impl Default for Table1Config {
             threads: 0,
             trace: None,
             mark: MarkConfig::default(),
+            golf: GolfConfig::default(),
+            barrier: true,
         }
     }
 }
@@ -210,6 +217,8 @@ pub fn run_table1_on(benchmarks: &[Microbenchmark], config: &Table1Config) -> Ta
                                 max_instances: config.max_instances,
                                 trace: None,
                                 mark: config.mark,
+                                golf: config.golf,
+                                barrier: config.barrier,
                             },
                             sink,
                         );

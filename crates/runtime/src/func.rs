@@ -107,10 +107,14 @@ pub struct ProgramSet {
 }
 
 /// Metadata about a `go` statement site.
+///
+/// The label is interned as an `Arc<str>`: reports, hints, and the
+/// collector's inert-site checks share one allocation per site instead of
+/// cloning a `String` per report.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SiteInfo {
     /// A stable label, e.g. `"NewFuncManager:34"`.
-    pub label: String,
+    pub label: std::sync::Arc<str>,
 }
 
 impl ProgramSet {
@@ -212,7 +216,7 @@ impl ProgramSet {
     /// Registers a `go`-statement site with a stable label.
     pub fn site(&mut self, label: impl Into<String>) -> SiteId {
         let id = SiteId(self.sites.len() as u32);
-        self.sites.push(SiteInfo { label: label.into() });
+        self.sites.push(SiteInfo { label: label.into().into() });
         id
     }
 
@@ -231,7 +235,7 @@ impl ProgramSet {
     /// # Panics
     ///
     /// Panics if `i >= site_count()`.
-    pub fn site_label_by_index(&self, i: usize) -> String {
+    pub fn site_label_by_index(&self, i: usize) -> std::sync::Arc<str> {
         self.sites[i].label.clone()
     }
 
@@ -314,6 +318,6 @@ mod tests {
         assert_eq!(p.global_name(g), "ch");
         assert_eq!(p.global_count(), 1);
         let s = p.site("main:59");
-        assert_eq!(p.site_info(s).label, "main:59");
+        assert_eq!(&*p.site_info(s).label, "main:59");
     }
 }

@@ -269,6 +269,51 @@ impl Goroutine {
     pub fn stack_bytes(&self) -> usize {
         2048 + self.frames.iter().map(|f| 64 + f.locals.len() * 16).sum::<usize>()
     }
+
+    /// A compact FNV-1a fingerprint of every per-goroutine fact a GOLF cycle
+    /// reads: identity, deadlock candidacy, reporting state, the stack root
+    /// handles, and — for candidates — the wait reason and `B(g)`.
+    ///
+    /// If every live goroutine's fingerprint is unchanged since the previous
+    /// cycle (and the heap mutation epoch and runtime-roots epoch are too),
+    /// a new cycle would observe exactly the state the previous one did and
+    /// therefore compute the same root set, liveness fixed point, and
+    /// deadlock verdicts — the quiescence proof behind incremental cycle
+    /// replay in `golf-core`.
+    ///
+    /// Deliberately *excludes* program counters and non-reference locals:
+    /// pure-local execution between cycles (loop counters, the idle
+    /// `sleep; GC()` pattern) cannot change a cycle's outcome, so it must
+    /// not defeat replay.
+    pub fn liveness_fingerprint(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            hash ^= v;
+            hash = hash.wrapping_mul(PRIME);
+        };
+        mix(u64::from(self.id.index()));
+        mix(u64::from(self.id.generation()));
+        let candidate = self.deadlock_candidate();
+        mix(u64::from(candidate));
+        mix(u64::from(self.reported_deadlocked));
+        mix(u64::from(self.internal));
+        let mut roots = 0u64;
+        for h in self.stack_roots() {
+            roots += 1;
+            mix(h.raw());
+        }
+        mix(roots);
+        if candidate {
+            // Safe unwrap: candidacy implies a wait reason.
+            mix(self.wait_reason().map_or(u64::MAX, |r| r as u64));
+            mix(matches!(self.blocked, Blocked::Epsilon) as u64);
+            for h in self.blocked.handles() {
+                mix(h.raw());
+            }
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -342,5 +387,46 @@ mod tests {
     #[test]
     fn gid_display() {
         assert_eq!(Gid::new(3, 2).to_string(), "g3.2");
+    }
+
+    #[test]
+    fn fingerprint_ignores_pure_local_execution() {
+        let mut heap: golf_heap::Heap<crate::object::Object> = golf_heap::Heap::new();
+        let h = heap.alloc(crate::object::Object::Sema);
+        let mut g = mk(GStatus::Runnable);
+        g.frames.push(Frame {
+            func: FuncId(0),
+            pc: 0,
+            locals: vec![Value::Int(1), Value::Ref(h)],
+            ret_dst: None,
+        });
+        let before = g.liveness_fingerprint();
+        // Advancing the pc and bumping a non-reference local models pure
+        // computation between cycles: the GC outcome cannot change.
+        g.frames[0].pc = 17;
+        g.frames[0].locals[0] = Value::Int(99);
+        assert_eq!(g.liveness_fingerprint(), before);
+        // A reference local changing is a root change.
+        g.frames[0].locals[1] = Value::Nil;
+        assert_ne!(g.liveness_fingerprint(), before);
+    }
+
+    #[test]
+    fn fingerprint_tracks_candidacy_and_blocked_set() {
+        let mut heap: golf_heap::Heap<crate::object::Object> = golf_heap::Heap::new();
+        let ch = heap.alloc(crate::object::Object::Sema);
+        let runnable = mk(GStatus::Runnable).liveness_fingerprint();
+        let sleeping = mk(GStatus::Waiting(WaitReason::Sleep)).liveness_fingerprint();
+        assert_eq!(runnable, sleeping, "non-candidate states with equal roots coincide");
+        let mut parked = mk(GStatus::Waiting(WaitReason::ChanSend));
+        parked.blocked = Blocked::Chans(vec![ch]);
+        let parked_fp = parked.liveness_fingerprint();
+        assert_ne!(parked_fp, runnable, "candidacy is observable");
+        parked.blocked = Blocked::Epsilon;
+        assert_ne!(parked.liveness_fingerprint(), parked_fp, "B(g) is observable");
+        parked.reported_deadlocked = true;
+        let reported = parked.liveness_fingerprint();
+        parked.reported_deadlocked = false;
+        assert_ne!(parked.liveness_fingerprint(), reported);
     }
 }

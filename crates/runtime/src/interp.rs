@@ -377,6 +377,7 @@ impl Vm {
             Instr::SetGlobal(id, src) => {
                 let v = self.read_var(gid, src);
                 self.globals[id.index()] = v;
+                self.roots_epoch += 1;
                 Exec::Continue
             }
             Instr::GetGlobal(dst, id) => {
@@ -396,6 +397,7 @@ impl Vm {
             Instr::MakeTimerChan { dst, after } => {
                 let h = self.heap.alloc(Object::chan(1));
                 self.timers.push(crate::vm::Timer { fire_tick: self.tick + after.max(1), ch: h });
+                self.roots_epoch += 1;
                 self.write_var(gid, dst, Value::Ref(h));
                 Exec::Continue
             }

@@ -40,7 +40,7 @@ impl Vm {
                 Some(frame) => self.program.describe_loc(frame.func, frame.pc.saturating_sub(1)),
                 None => "<no frames>".to_string(),
             };
-            let site = g.spawn_site.map(|s| self.program.site_info(s).label.clone());
+            let site = g.spawn_site.map(|s| self.program.site_info(s).label.to_string());
             *buckets.entry((loc, reason, site)).or_insert(0) += 1;
         }
         let mut entries: Vec<ProfileEntry> = buckets

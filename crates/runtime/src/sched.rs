@@ -114,6 +114,10 @@ impl Vm {
                 true
             }
         });
+        if !due.is_empty() {
+            // The fired timers' channels just left the runtime root set.
+            self.roots_epoch += 1;
+        }
         for ch in due {
             self.timer_fire(ch);
         }

@@ -221,6 +221,7 @@ pub struct Vm {
     pub(crate) fatal: Option<PanicInfo>,
     pub(crate) panics: Vec<PanicInfo>,
     pub(crate) gc_requested: bool,
+    pub(crate) roots_epoch: u64,
     pub(crate) counters: VmCounters,
     pub(crate) tracer: Tracer,
     pub(crate) sched_policy: Option<Box<dyn crate::sched::SchedPolicy>>,
@@ -264,6 +265,7 @@ impl Vm {
             fatal: None,
             panics: Vec::new(),
             gc_requested: false,
+            roots_epoch: 0,
             counters: VmCounters::default(),
             tracer: Tracer::new(),
             sched_policy: None,
@@ -439,7 +441,7 @@ impl Vm {
                 gid: go_id(gid),
                 parent: parent.map(go_id),
                 func: self.program.func(func).name.clone(),
-                spawn_site: site.map(|s| self.program.site_info(s).label.clone()),
+                spawn_site: site.map(|s| self.program.site_info(s).label.to_string()),
             };
             self.trace_emit(event);
         }
@@ -625,6 +627,16 @@ impl Vm {
     /// reruns replay byte-identically.
     pub fn mark_seed(&self) -> u64 {
         crate::seed_for(self.config.seed, "mark")
+    }
+
+    /// Monotone counter bumped whenever the *runtime root set* changes —
+    /// a global is written, or a timer (whose channel is a runtime root) is
+    /// added or fires. Together with the heap's mutation epoch and the
+    /// per-goroutine liveness fingerprints, an unchanged value proves the
+    /// next GC cycle would observe exactly the state the previous one did;
+    /// the incremental collector replays the cached cycle in that case.
+    pub fn roots_epoch(&self) -> u64 {
+        self.roots_epoch
     }
 
     /// Handles intrinsically reachable from the runtime itself: globals and

@@ -176,6 +176,28 @@ pub enum TraceEvent {
         /// The reclaimed goroutine.
         gid: GoId,
     },
+    /// A heap shard the write barrier flagged dirty since the previous GC
+    /// cycle, reported at cycle start. Only emitted when the collector's
+    /// `GolfConfig::trace_incremental` is enabled: the events are forensic
+    /// detail of the incremental mode, and emitting them by default would
+    /// break the full-vs-incremental byte-identical trace guarantee.
+    GcDirtyShard {
+        /// GC cycle number.
+        cycle: u64,
+        /// Dirty shard index.
+        shard: u64,
+    },
+    /// The collector proved full quiescence and replayed the previous
+    /// cycle's outcome instead of re-marking. Opt-in via
+    /// `GolfConfig::trace_incremental` (see [`TraceEvent::GcDirtyShard`]).
+    GcIncrementalSkip {
+        /// GC cycle number.
+        cycle: u64,
+        /// Marks carried over from the previous cycle's bitmap.
+        marks_reused: u64,
+        /// Goroutines whose liveness verdict was validated by fingerprint.
+        liveness_cached: u64,
+    },
     /// One line of `gctrace` output, routed through the structured trace
     /// instead of stderr.
     GcTrace {
@@ -204,6 +226,8 @@ impl TraceEvent {
             TraceEvent::GcPhaseBegin { .. }
             | TraceEvent::GcPhaseEnd { .. }
             | TraceEvent::GcMarkWorker { .. }
+            | TraceEvent::GcDirtyShard { .. }
+            | TraceEvent::GcIncrementalSkip { .. }
             | TraceEvent::GcTrace { .. } => None,
         }
     }
@@ -225,6 +249,8 @@ impl TraceEvent {
             TraceEvent::GcPhaseBegin { .. } => "gc_phase_begin",
             TraceEvent::GcPhaseEnd { .. } => "gc_phase_end",
             TraceEvent::GcMarkWorker { .. } => "gc_mark_worker",
+            TraceEvent::GcDirtyShard { .. } => "gc_dirty_shard",
+            TraceEvent::GcIncrementalSkip { .. } => "gc_incremental_skip",
             TraceEvent::DeadlockDetected { .. } => "deadlock_detected",
             TraceEvent::Reclaimed { .. } => "reclaimed",
             TraceEvent::GcTrace { .. } => "gctrace",
@@ -305,6 +331,15 @@ impl fmt::Display for TraceEvent {
                 write!(
                     f,
                     "GcMarkWorker cycle={cycle} w{worker} marked={marked} trav={traversals} steals={steals}"
+                )
+            }
+            TraceEvent::GcDirtyShard { cycle, shard } => {
+                write!(f, "GcDirtyShard cycle={cycle} shard={shard}")
+            }
+            TraceEvent::GcIncrementalSkip { cycle, marks_reused, liveness_cached } => {
+                write!(
+                    f,
+                    "GcIncrementalSkip cycle={cycle} marks_reused={marks_reused} liveness_cached={liveness_cached}"
                 )
             }
             TraceEvent::DeadlockDetected { gid, reason, location } => {

@@ -106,6 +106,15 @@ impl TraceRecord {
                     ",\"cycle\":{cycle},\"worker\":{worker},\"marked\":{marked},\"traversals\":{traversals},\"steals\":{steals}"
                 );
             }
+            TraceEvent::GcDirtyShard { cycle, shard } => {
+                let _ = write!(out, ",\"cycle\":{cycle},\"shard\":{shard}");
+            }
+            TraceEvent::GcIncrementalSkip { cycle, marks_reused, liveness_cached } => {
+                let _ = write!(
+                    out,
+                    ",\"cycle\":{cycle},\"marks_reused\":{marks_reused},\"liveness_cached\":{liveness_cached}"
+                );
+            }
             TraceEvent::DeadlockDetected { reason, location, .. } => {
                 out.push_str(",\"reason\":");
                 push_json_str(&mut out, reason);

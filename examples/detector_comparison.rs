@@ -90,7 +90,7 @@ fn main() {
 
     let golf_sites: Vec<_> =
         session.reports().iter().filter_map(|r| r.spawn_site.clone()).collect();
-    assert!(golf_sites.iter().all(|s| s == "collect:leak"), "GOLF flags only the true leak");
+    assert!(golf_sites.iter().all(|s| &**s == "collect:leak"), "GOLF flags only the true leak");
     assert!(
         leakprof.warnings().len() >= 2,
         "LEAKPROF also flags the burst: {:?}",
